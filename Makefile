@@ -1,0 +1,35 @@
+# itpsim build/test/benchmark targets. Everything is plain `go` — the
+# Makefile just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test vet bench bench-figures results quick-results clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Microbenchmarks + ablations + one pass of every figure bench.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+bench-figures:
+	$(GO) test -bench 'Fig' -benchtime 1x .
+
+# Regenerate every paper figure at full default scale (minutes).
+results:
+	$(GO) run ./cmd/itpbench -fig all | tee results_full.txt
+
+# Smoke-scale pass over every figure (~a minute).
+quick-results:
+	$(GO) run ./cmd/itpbench -fig all -scale quick
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,217 @@
+package itpsim
+
+// Benchmark targets regenerating the paper's tables and figures (one per
+// experiment, per DESIGN.md's index) plus ablation benches for the design
+// parameters and micro-benchmarks of the substrate. Figure benches run
+// the corresponding experiment at a reduced scale and report the headline
+// number as a custom metric; use cmd/itpbench for full-scale runs.
+
+import (
+	"strconv"
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/cache"
+	"itpsim/internal/config"
+	"itpsim/internal/core"
+	"itpsim/internal/experiments"
+	"itpsim/internal/replacement"
+	"itpsim/internal/sim"
+	"itpsim/internal/tlb"
+	"itpsim/internal/workload"
+)
+
+// benchOptions is the reduced scale used by the figure benches.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		ServerWorkloads:     2,
+		SpecWorkloads:       2,
+		SMTPairsPerCategory: 1,
+		Warmup:              100_000,
+		Measure:             200_000,
+	}
+}
+
+// runFigure executes one experiment per iteration and reports the mean of
+// its row values as "value".
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range res.Rows {
+			sum += r.Value
+		}
+		if len(res.Rows) > 0 {
+			last = sum / float64(len(res.Rows))
+		}
+	}
+	b.ReportMetric(last, "mean-value")
+}
+
+func BenchmarkFig1ITLBSweep(b *testing.B)        { runFigure(b, "fig1") }
+func BenchmarkFig2InstrMPKI(b *testing.B)        { runFigure(b, "fig2") }
+func BenchmarkFig3ProbLRU(b *testing.B)          { runFigure(b, "fig3") }
+func BenchmarkFig4MPKIBreakdown(b *testing.B)    { runFigure(b, "fig4") }
+func BenchmarkFig8Single(b *testing.B)           { runFigure(b, "fig8a") }
+func BenchmarkFig8SMT(b *testing.B)              { runFigure(b, "fig8b") }
+func BenchmarkFig9MissProfile(b *testing.B)      { runFigure(b, "fig9") }
+func BenchmarkFig10STLBBreakdown(b *testing.B)   { runFigure(b, "fig10") }
+func BenchmarkFig11LLCPolicies(b *testing.B)     { runFigure(b, "fig11") }
+func BenchmarkFig12ITLBSensitivity(b *testing.B) { runFigure(b, "fig12") }
+func BenchmarkFig13HugePages(b *testing.B)       { runFigure(b, "fig13") }
+func BenchmarkFig14SplitSTLB(b *testing.B)       { runFigure(b, "fig14") }
+func BenchmarkExt1Extensions(b *testing.B)       { runFigure(b, "ext1") }
+
+// benchIPC runs one workload under one config and returns IPC.
+func benchIPC(b *testing.B, cfg config.SystemConfig, name string) float64 {
+	b.Helper()
+	cat := workload.NewCatalog(8, 2)
+	spec, err := cat.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m.RunWarmup([]workload.Stream{spec.NewStream()}, 100_000, 200_000).IPC
+}
+
+// Ablation benches sweep the design parameters DESIGN.md calls out.
+
+func BenchmarkAblationITPParamN(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 6} {
+		b.Run("N="+itoa(n), func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := config.Default()
+				cfg.STLBPolicy = "itp"
+				cfg.ITP.N = n
+				cfg.ITP.M = n + 4
+				ipc = benchIPC(b, cfg, "srv_000")
+			}
+			b.ReportMetric(ipc, "ipc")
+		})
+	}
+}
+
+func BenchmarkAblationXPTPK(b *testing.B) {
+	for _, k := range []int{2, 4, 6, 8} {
+		b.Run("K="+itoa(k), func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := config.Default()
+				cfg.STLBPolicy = "itp"
+				cfg.L2CPolicy = "xptp"
+				cfg.XPTP.K = k
+				ipc = benchIPC(b, cfg, "srv_007")
+			}
+			b.ReportMetric(ipc, "ipc")
+		})
+	}
+}
+
+func BenchmarkAblationAdaptiveT1(b *testing.B) {
+	for _, t1 := range []int{0, 4, 8, 32} {
+		b.Run("T1="+itoa(t1), func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := config.Default()
+				cfg.STLBPolicy = "itp"
+				cfg.L2CPolicy = "xptp"
+				cfg.XPTP.T1 = t1
+				ipc = benchIPC(b, cfg, "srv_007")
+			}
+			b.ReportMetric(ipc, "ipc")
+		})
+	}
+}
+
+func BenchmarkAblationFreqBits(b *testing.B) {
+	for _, bits := range []int{1, 2, 3, 4} {
+		b.Run("bits="+itoa(bits), func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := config.Default()
+				cfg.STLBPolicy = "itp"
+				cfg.ITP.FreqBits = bits
+				ipc = benchIPC(b, cfg, "srv_000")
+			}
+			b.ReportMetric(ipc, "ipc")
+		})
+	}
+}
+
+// Substrate micro-benchmarks.
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cat := workload.NewCatalog(4, 2)
+	spec, _ := cat.Get("srv_000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _ := sim.NewMachine(config.Default())
+		m.Run([]workload.Stream{spec.NewStream()}, 100_000)
+	}
+	b.ReportMetric(float64(100_000*b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	cat := workload.NewCatalog(4, 2)
+	spec, _ := cat.Get("srv_000")
+	s := spec.NewStream()
+	var in workload.Instr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next(&in)
+	}
+}
+
+func BenchmarkSTLBLookupITP(b *testing.B) {
+	stlb := tlb.New("stlb", 128, 12, core.NewITP(config.Default().ITP))
+	for i := 0; i < 2000; i++ {
+		cls := arch.DataClass
+		if i%3 == 0 {
+			cls = arch.InstrClass
+		}
+		stlb.Insert(arch.Addr(i)<<arch.PageBits4K, uint64(i), arch.PageBits4K, cls, 0, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stlb.Lookup(arch.Addr(i%2000)<<arch.PageBits4K, 0, arch.DataClass, 0)
+	}
+}
+
+func BenchmarkCacheAccessXPTP(b *testing.B) {
+	cfg := config.Default().L2C
+	pol := core.NewXPTP(config.Default().XPTP)
+	var sink fixedLatency
+	c := cache.New("l2", cfg, pol, &sink, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := arch.Access{Addr: arch.Addr(i%100000) << arch.BlockBits, Kind: arch.Load}
+		c.Access(uint64(i), &acc)
+	}
+}
+
+func BenchmarkCacheAccessLRU(b *testing.B) {
+	cfg := config.Default().L2C
+	var sink fixedLatency
+	c := cache.New("l2", cfg, replacement.NewLRU(), &sink, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := arch.Access{Addr: arch.Addr(i%100000) << arch.BlockBits, Kind: arch.Load}
+		c.Access(uint64(i), &acc)
+	}
+}
+
+// fixedLatency is a constant-latency terminal level for cache benches.
+type fixedLatency struct{}
+
+func (fixedLatency) Access(now uint64, _ *arch.Access) uint64 { return now + 100 }
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,127 @@
+// Command itpsim runs a single simulation: one workload (or an SMT pair),
+// one machine configuration, one policy combination, and prints the full
+// statistics report.
+//
+// Examples:
+//
+//	itpsim -workload srv_000
+//	itpsim -workload srv_000 -stlb itp -l2c xptp -n 2000000
+//	itpsim -workload srv_000 -smt srv_001 -stlb itp -l2c xptp
+//	itpsim -list
+//	itpsim -trace trace.itpt.gz -stlb itp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"itpsim/internal/config"
+	"itpsim/internal/sim"
+	"itpsim/internal/trace"
+	"itpsim/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "srv_000", "catalogue workload to run")
+		smtPartner   = flag.String("smt", "", "co-run this second workload on thread 1")
+		tracePath    = flag.String("trace", "", "run a recorded trace file instead of a catalogue workload")
+		stlbPol      = flag.String("stlb", "lru", "STLB policy: lru, itp, chirp, problru")
+		l2cPol       = flag.String("l2c", "lru", "L2C policy: lru, xptp, xptp-static, ptp, tdrrip, drrip, srrip, ship, mockingjay")
+		llcPol       = flag.String("llc", "lru", "LLC policy: lru, ship, mockingjay")
+		warmup       = flag.Uint64("warmup", 1_000_000, "warmup instructions per thread")
+		measure      = flag.Uint64("n", 3_000_000, "measured instructions per thread")
+		itlbEntries  = flag.Int("itlb", 64, "ITLB entries")
+		stlbEntries  = flag.Int("stlb-entries", 1536, "STLB entries")
+		splitSTLB    = flag.Bool("split-stlb", false, "use split instruction/data STLBs")
+		hugeFrac     = flag.Float64("huge", 0, "fraction of footprint on 2MB pages")
+		probP        = flag.Float64("p", 0.8, "keep-instructions probability for -stlb problru")
+		configJSON   = flag.String("config", "", "load full machine config from JSON file")
+		dumpConfig   = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
+		list         = flag.Bool("list", false, "list catalogue workloads and exit")
+	)
+	flag.Parse()
+
+	cat := workload.NewCatalog(120, 20)
+	if *list {
+		for _, n := range cat.Names() {
+			spec, _ := cat.Get(n)
+			fmt.Printf("%-10s %-7s pressure=%s\n", n, spec.Kind, spec.Band)
+		}
+		return
+	}
+
+	cfg := config.Default()
+	if *configJSON != "" {
+		data, err := os.ReadFile(*configJSON)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = config.FromJSON(data)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	cfg = cfg.WithITLBEntries(*itlbEntries).WithSTLBEntries(*stlbEntries)
+	cfg.STLBPolicy = *stlbPol
+	cfg.L2CPolicy = *l2cPol
+	cfg.LLCPolicy = *llcPol
+	cfg.SplitSTLB = *splitSTLB
+	cfg.HugePageFraction = *hugeFrac
+	cfg.ProbKeepInstr = *probP
+
+	if *dumpConfig {
+		data, err := cfg.MarshalPretty()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	var streams []workload.Stream
+	var labels []string
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		streams = append(streams, r)
+		labels = append(labels, *tracePath)
+	} else {
+		spec, err := cat.Get(*workloadName)
+		if err != nil {
+			fatal(err)
+		}
+		streams = append(streams, spec.NewStream())
+		labels = append(labels, *workloadName)
+	}
+	if *smtPartner != "" {
+		spec, err := cat.Get(*smtPartner)
+		if err != nil {
+			fatal(err)
+		}
+		streams = append(streams, spec.NewStream())
+		labels = append(labels, *smtPartner)
+	}
+
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res := m.RunWarmup(streams, *warmup, *measure)
+	fmt.Printf("workloads: %v\npolicies: STLB=%s L2C=%s LLC=%s\nwarmup=%d measure=%d per thread\n\n",
+		labels, cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy, *warmup, *measure)
+	fmt.Print(res.Stats)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "itpsim:", err)
+	os.Exit(1)
+}

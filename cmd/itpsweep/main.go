@@ -1,0 +1,147 @@
+// Command itpsweep runs custom parameter sweeps, the moral equivalent of
+// the artifact's experiment-customisation workflow: pick a workload set,
+// a policy combination, one machine parameter, and a list of values; get
+// one row per value with IPC and the key translation metrics.
+//
+// Examples:
+//
+//	itpsweep -param xptp.k -values 2,4,6,8
+//	itpsweep -param itp.n -values 1,2,4,6 -stlb itp
+//	itpsweep -param stlb-entries -values 768,1536,3072 -workloads srv_000,srv_007
+//	itpsweep -param huge -values 0,0.1,0.5,1.0 -stlb itp -l2c xptp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"itpsim/internal/config"
+	"itpsim/internal/sim"
+	"itpsim/internal/stats"
+	"itpsim/internal/workload"
+)
+
+// params maps sweepable parameter names to config mutators.
+var params = map[string]func(*config.SystemConfig, float64) error{
+	"itp.n": func(c *config.SystemConfig, v float64) error { c.ITP.N = int(v); return nil },
+	"itp.m": func(c *config.SystemConfig, v float64) error { c.ITP.M = int(v); return nil },
+	"itp.freqbits": func(c *config.SystemConfig, v float64) error {
+		c.ITP.FreqBits = int(v)
+		return nil
+	},
+	"xptp.k":  func(c *config.SystemConfig, v float64) error { c.XPTP.K = int(v); return nil },
+	"xptp.t1": func(c *config.SystemConfig, v float64) error { c.XPTP.T1 = int(v); return nil },
+	"xptp.window": func(c *config.SystemConfig, v float64) error {
+		c.XPTP.WindowInstr = uint64(v)
+		return nil
+	},
+	"itlb": func(c *config.SystemConfig, v float64) error {
+		*c = c.WithITLBEntries(int(v))
+		return nil
+	},
+	"stlb-entries": func(c *config.SystemConfig, v float64) error {
+		*c = c.WithSTLBEntries(int(v))
+		return nil
+	},
+	"huge": func(c *config.SystemConfig, v float64) error {
+		c.HugePageFraction = v
+		return nil
+	},
+	"fdip-distance": func(c *config.SystemConfig, v float64) error {
+		c.FDIPDistance = int(v)
+		return nil
+	},
+	"rob": func(c *config.SystemConfig, v float64) error { c.ROBSize = int(v); return nil },
+	"p":   func(c *config.SystemConfig, v float64) error { c.ProbKeepInstr = v; return nil },
+}
+
+func main() {
+	var (
+		param     = flag.String("param", "", "parameter to sweep: "+paramNames())
+		values    = flag.String("values", "", "comma-separated values")
+		workloads = flag.String("workloads", "srv_000,srv_007,srv_013", "comma-separated catalogue workloads")
+		stlbPol   = flag.String("stlb", "itp", "STLB policy")
+		l2cPol    = flag.String("l2c", "xptp", "L2C policy")
+		llcPol    = flag.String("llc", "lru", "LLC policy")
+		warmup    = flag.Uint64("warmup", 500_000, "warmup instructions")
+		measure   = flag.Uint64("n", 1_500_000, "measured instructions")
+	)
+	flag.Parse()
+
+	mutate, ok := params[*param]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "itpsweep: -param must be one of %s\n", paramNames())
+		os.Exit(2)
+	}
+	var vals []float64
+	for _, s := range strings.Split(*values, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "itpsweep: bad value %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		fmt.Fprintln(os.Stderr, "itpsweep: -values required")
+		os.Exit(2)
+	}
+	names := strings.Split(*workloads, ",")
+
+	cat := workload.NewCatalog(120, 20)
+	fmt.Printf("sweep %s over %v; policies STLB=%s L2C=%s LLC=%s; %d+%d instr\n\n",
+		*param, vals, *stlbPol, *l2cPol, *llcPol, *warmup, *measure)
+	fmt.Printf("%-10s %-10s %8s %9s %9s %9s %9s\n",
+		"value", "workload", "IPC", "STLB-MPKI", "walk-lat", "L2C-dt", "itc%")
+
+	for _, v := range vals {
+		ratios := make([]float64, 0, len(names))
+		for _, name := range names {
+			spec, err := cat.Get(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "itpsweep:", err)
+				os.Exit(1)
+			}
+			cfg := config.Default()
+			cfg.STLBPolicy = *stlbPol
+			cfg.L2CPolicy = *l2cPol
+			cfg.LLCPolicy = *llcPol
+			if err := mutate(&cfg, v); err != nil {
+				fmt.Fprintln(os.Stderr, "itpsweep:", err)
+				os.Exit(1)
+			}
+			m, err := sim.NewMachine(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "itpsweep:", err)
+				os.Exit(1)
+			}
+			res := m.RunWarmup([]workload.Stream{spec.NewStream()}, *warmup, *measure)
+			s := res.Stats
+			ti := s.TotalInstructions()
+			fmt.Printf("%-10.3g %-10s %8.4f %9.3f %9.1f %9.2f %8.1f%%\n",
+				v, spec.Name, res.IPC, s.STLB.MPKI(ti), s.STLB.AvgMissLatency(),
+				s.L2C.BucketMPKI(stats.BDataTrans, ti), 100*s.InstrTransFraction())
+			ratios = append(ratios, res.IPC)
+		}
+		fmt.Printf("%-10.3g %-10s %8.4f\n\n", v, "GEOMEAN", stats.Geomean(ratios))
+	}
+}
+
+func paramNames() string {
+	names := make([]string, 0, len(params))
+	for n := range params {
+		names = append(names, n)
+	}
+	// stable order for help text
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return strings.Join(names, ", ")
+}

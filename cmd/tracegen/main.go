@@ -1,0 +1,120 @@
+// Command tracegen records synthetic workloads to trace files and
+// inspects existing traces.
+//
+// Examples:
+//
+//	tracegen -workload srv_000 -n 1000000 -out srv_000.itpt.gz
+//	tracegen -inspect srv_000.itpt.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/trace"
+	"itpsim/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "srv_000", "catalogue workload to record")
+		n            = flag.Uint64("n", 1_000_000, "instructions to record")
+		out          = flag.String("out", "", "output trace path (default <workload>.itpt.gz)")
+		inspect      = flag.String("inspect", "", "print a summary of an existing trace and exit")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cat := workload.NewCatalog(120, 20)
+	spec, err := cat.Get(*workloadName)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *workloadName + ".itpt.gz"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		fatal(err)
+	}
+	written, err := trace.Record(w, spec.NewStream(), *n)
+	if err != nil {
+		fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("wrote %d instructions to %s (%d bytes, %.2f B/instr)\n",
+		written, path, st.Size(), float64(st.Size())/float64(written))
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	var in workload.Instr
+	var n, branches, loads, stores, deps uint64
+	codePages := map[arch.Addr]bool{}
+	dataPages := map[arch.Addr]bool{}
+	for r.Next(&in) {
+		n++
+		if in.IsBranch {
+			branches++
+		}
+		if in.LoadAddr != 0 {
+			loads++
+			dataPages[arch.PageNumber4K(in.LoadAddr)] = true
+		}
+		if in.StoreAddr != 0 {
+			stores++
+			dataPages[arch.PageNumber4K(in.StoreAddr)] = true
+		}
+		if in.DepLoad {
+			deps++
+		}
+		codePages[arch.PageNumber4K(in.PC)] = true
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("instructions: %d\nbranches: %d (%.1f%%)\nloads: %d (%.1f%%), dependent: %d\nstores: %d (%.1f%%)\n",
+		n, branches, pct(branches, n), loads, pct(loads, n), deps, stores, pct(stores, n))
+	fmt.Printf("code footprint: %d pages (%.1f MB)\ndata footprint: %d pages (%.1f MB)\n",
+		len(codePages), float64(len(codePages))/256, len(dataPages), float64(len(dataPages))/256)
+	return nil
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package itpsim reproduces "Instruction-Aware Cooperative TLB and Cache
+// Replacement Policies" (ASPLOS 2025): the iTP STLB replacement policy,
+// the xPTP L2 cache replacement policy, their adaptive combination
+// iTP+xPTP, the prior-work baselines they are evaluated against, and the
+// trace-driven simulation substrate (out-of-order core, TLB hierarchy,
+// page-table walker, caches, DRAM) everything runs on.
+//
+// The implementation lives under internal/; see README.md for the layout,
+// cmd/ for the executables, and bench_test.go for the benchmark targets
+// that regenerate each of the paper's figures.
+package itpsim

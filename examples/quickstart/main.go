@@ -1,0 +1,55 @@
+// Quickstart: simulate one big-code server workload under the baseline
+// LRU machine and under the paper's iTP+xPTP proposal, and report the
+// speedup. This is the minimal end-to-end use of the library: pick a
+// workload from the catalogue, describe a machine, run it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"itpsim/internal/config"
+	"itpsim/internal/sim"
+	"itpsim/internal/workload"
+)
+
+func main() {
+	// The catalogue holds deterministic synthetic stand-ins for the
+	// paper's Qualcomm Server and SPEC trace sets.
+	catalog := workload.NewCatalog(120, 20)
+	spec, err := catalog.Get("srv_013")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		warmup  = 1_000_000
+		measure = 3_000_000
+	)
+
+	run := func(stlb, l2c string) *sim.Machine {
+		cfg := config.Default() // Table 1 machine
+		cfg.STLBPolicy = stlb
+		cfg.L2CPolicy = l2c
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.RunWarmup([]workload.Stream{spec.NewStream()}, warmup, measure)
+		return m
+	}
+
+	fmt.Println("simulating", spec.Name, "(this takes a few seconds per run)...")
+	base := run("lru", "lru")
+	prop := run("itp", "xptp")
+
+	b, p := base.Stats, prop.Stats
+	fmt.Printf("\n%-22s %12s %12s\n", "", "LRU baseline", "iTP+xPTP")
+	fmt.Printf("%-22s %12.4f %12.4f\n", "IPC", b.IPC(), p.IPC())
+	fmt.Printf("%-22s %11.2f%% %11.2f%%\n", "instr-translation", 100*b.InstrTransFraction(), 100*p.InstrTransFraction())
+	ti := b.TotalInstructions()
+	fmt.Printf("%-22s %12.3f %12.3f\n", "STLB MPKI", b.STLB.MPKI(ti), p.STLB.MPKI(p.TotalInstructions()))
+	fmt.Printf("%-22s %12.1f %12.1f\n", "STLB avg miss latency", b.STLB.AvgMissLatency(), p.STLB.AvgMissLatency())
+	fmt.Printf("%-22s %12.3f %12.3f\n", "LLC MPKI", b.LLC.MPKI(ti), p.LLC.MPKI(p.TotalInstructions()))
+	fmt.Printf("\nspeedup: %+.1f%%\n", 100*(p.IPC()/b.IPC()-1))
+}

@@ -1,0 +1,63 @@
+// Servercache: a replacement-policy study on one big-code server
+// workload — the Table 2 policy matrix plus the translation-oblivious
+// baselines, with the cache- and TLB-level metrics that explain each
+// policy's behaviour (the paper's Section 6.2 analysis in miniature).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"itpsim/internal/config"
+	"itpsim/internal/sim"
+	"itpsim/internal/stats"
+	"itpsim/internal/workload"
+)
+
+func main() {
+	catalog := workload.NewCatalog(120, 20)
+	spec, err := catalog.Get("srv_007")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	combos := []struct{ name, stlb, l2c string }{
+		{"LRU (baseline)", "lru", "lru"},
+		{"DRRIP", "lru", "drrip"},
+		{"TDRRIP", "lru", "tdrrip"},
+		{"PTP", "lru", "ptp"},
+		{"CHiRP", "chirp", "lru"},
+		{"iTP", "itp", "lru"},
+		{"iTP+xPTP", "itp", "xptp"},
+	}
+
+	fmt.Printf("workload %s, 1M warmup + 3M measured instructions per run\n\n", spec.Name)
+	fmt.Printf("%-15s %8s %8s | %10s %10s %10s | %8s %8s\n",
+		"policy", "IPC", "speedup", "STLB-iMPKI", "STLB-dMPKI", "walk-lat", "L2C-dt", "LLC-MPKI")
+
+	var baseIPC float64
+	for _, c := range combos {
+		cfg := config.Default()
+		cfg.STLBPolicy = c.stlb
+		cfg.L2CPolicy = c.l2c
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := m.RunWarmup([]workload.Stream{spec.NewStream()}, 1_000_000, 3_000_000)
+		s := res.Stats
+		ti := s.TotalInstructions()
+		if baseIPC == 0 {
+			baseIPC = res.IPC
+		}
+		fmt.Printf("%-15s %8.4f %+7.1f%% | %10.3f %10.3f %10.1f | %8.2f %8.2f\n",
+			c.name, res.IPC, 100*(res.IPC/baseIPC-1),
+			s.STLB.BucketMPKI(stats.BInstr, ti),
+			s.STLB.BucketMPKI(stats.BData, ti),
+			s.STLB.AvgMissLatency(),
+			s.L2C.BucketMPKI(stats.BDataTrans, ti),
+			s.LLC.MPKI(ti))
+	}
+	fmt.Println("\nwalk-lat = average STLB miss (page walk) latency in cycles")
+	fmt.Println("L2C-dt   = L2C misses per kilo-instruction caused by data page walks")
+}

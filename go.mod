@@ -1,0 +1,3 @@
+module itpsim
+
+go 1.22

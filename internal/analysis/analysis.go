@@ -1,0 +1,296 @@
+// Package analysis provides workload characterisation tools used to
+// calibrate and explain the experiments: exact LRU reuse-distance
+// profiling (the classic stack-distance algorithm on a Fenwick tree) and
+// Belady's OPT miss bound (the metric Mockingjay-style policies chase).
+// cmd/wlstat exposes both on the workload catalogue.
+package analysis
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// fenwick is a binary indexed tree over access timestamps; it counts how
+// many "live" (most recent per key) accesses fall in a time range.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// sum returns the prefix sum over [0, i].
+func (f *fenwick) sum(i int) int {
+	s := 0
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// ReuseProfile is a histogram of LRU stack distances. Distance d means d
+// distinct other keys were touched between consecutive accesses to the
+// same key; cold (first-touch) accesses are counted separately.
+type ReuseProfile struct {
+	// Histogram buckets are powers of two: bucket i counts distances in
+	// [2^i, 2^(i+1)).
+	Buckets [32]uint64
+	Cold    uint64
+	Total   uint64
+}
+
+// Record adds one observed distance.
+func (p *ReuseProfile) Record(distance int) {
+	p.Total++
+	if distance < 0 {
+		p.Cold++
+		return
+	}
+	b := 0
+	if distance > 0 {
+		b = int(math.Log2(float64(distance)))
+	}
+	if b >= len(p.Buckets) {
+		b = len(p.Buckets) - 1
+	}
+	p.Buckets[b]++
+}
+
+// HitRatioAt returns the fraction of accesses whose reuse distance is
+// below capacity — the hit ratio of a fully-associative LRU of that size.
+func (p *ReuseProfile) HitRatioAt(capacity int) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	var hits uint64
+	for b := range p.Buckets {
+		lo := 1 << b
+		if b == 0 {
+			lo = 0
+		}
+		hi := 1<<(b+1) - 1
+		switch {
+		case hi < capacity:
+			hits += p.Buckets[b]
+		case lo >= capacity:
+			// entire bucket misses
+		default:
+			// straddling bucket: assume uniform within the bucket
+			frac := float64(capacity-lo) / float64(hi-lo+1)
+			hits += uint64(frac * float64(p.Buckets[b]))
+		}
+	}
+	return float64(hits) / float64(p.Total)
+}
+
+// String renders the histogram.
+func (p *ReuseProfile) String() string {
+	out := fmt.Sprintf("accesses=%d cold=%d (%.1f%%)\n", p.Total, p.Cold,
+		100*float64(p.Cold)/float64(max64(p.Total, 1)))
+	for b, c := range p.Buckets {
+		if c == 0 {
+			continue
+		}
+		out += fmt.Sprintf("  d in [%6d,%6d): %8d (%.1f%%)\n",
+			1<<b, 1<<(b+1), c, 100*float64(c)/float64(p.Total))
+	}
+	return out
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ReuseDistances computes the exact LRU stack-distance profile of a key
+// sequence in O(n log n).
+func ReuseDistances(keys []uint64) *ReuseProfile {
+	p := &ReuseProfile{}
+	last := make(map[uint64]int, 1024)
+	f := newFenwick(len(keys))
+	for t, k := range keys {
+		if prev, ok := last[k]; ok {
+			// Distinct keys touched in (prev, t) = live markers there.
+			d := f.sum(t-1) - f.sum(prev)
+			p.Record(d)
+			f.add(prev, -1)
+		} else {
+			p.Record(-1)
+		}
+		f.add(t, 1)
+		last[k] = t
+	}
+	return p
+}
+
+// nextUseHeap orders cached keys by their next use, farthest first.
+type nextUseHeap []heapEntry
+
+type heapEntry struct {
+	key     uint64
+	nextUse int
+}
+
+func (h nextUseHeap) Len() int            { return len(h) }
+func (h nextUseHeap) Less(i, j int) bool  { return h[i].nextUse > h[j].nextUse }
+func (h nextUseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nextUseHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
+func (h *nextUseHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// OPTMisses returns the miss count of Belady's optimal replacement for a
+// fully-associative cache of the given capacity over the key sequence —
+// the lower bound any replacement policy (including iTP and xPTP) is
+// chasing. Lazy-deletion heap keyed by next use.
+func OPTMisses(keys []uint64, capacity int) uint64 {
+	if capacity <= 0 {
+		return uint64(len(keys))
+	}
+	const inf = math.MaxInt64 / 2
+	// Precompute next use of each position.
+	next := make([]int, len(keys))
+	lastSeen := make(map[uint64]int, 1024)
+	for i := len(keys) - 1; i >= 0; i-- {
+		if j, ok := lastSeen[keys[i]]; ok {
+			next[i] = j
+		} else {
+			next[i] = inf
+		}
+		lastSeen[keys[i]] = i
+	}
+
+	cached := make(map[uint64]int, capacity) // key -> its current nextUse
+	h := &nextUseHeap{}
+	var misses uint64
+	for i, k := range keys {
+		if nu, ok := cached[k]; ok && nu == i {
+			// Hit: refresh the key's next use.
+			cached[k] = next[i]
+			heap.Push(h, heapEntry{key: k, nextUse: next[i]})
+			continue
+		}
+		misses++
+		if len(cached) >= capacity {
+			// Evict the key whose next use is farthest (lazy deletion:
+			// skip stale heap entries).
+			for h.Len() > 0 {
+				e := heap.Pop(h).(heapEntry)
+				if nu, ok := cached[e.key]; ok && nu == e.nextUse {
+					delete(cached, e.key)
+					break
+				}
+			}
+		}
+		cached[k] = next[i]
+		heap.Push(h, heapEntry{key: k, nextUse: next[i]})
+	}
+	return misses
+}
+
+// LRUMisses returns the miss count of fully-associative LRU over the key
+// sequence (for OPT-vs-LRU headroom comparisons).
+func LRUMisses(keys []uint64, capacity int) uint64 {
+	if capacity <= 0 {
+		return uint64(len(keys))
+	}
+	type node struct {
+		key        uint64
+		prev, next *node
+	}
+	index := make(map[uint64]*node, capacity)
+	var head, tail *node
+	remove := func(n *node) {
+		if n.prev != nil {
+			n.prev.next = n.next
+		} else {
+			head = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		} else {
+			tail = n.prev
+		}
+		n.prev, n.next = nil, nil
+	}
+	pushFront := func(n *node) {
+		n.next = head
+		if head != nil {
+			head.prev = n
+		}
+		head = n
+		if tail == nil {
+			tail = n
+		}
+	}
+	var misses uint64
+	for _, k := range keys {
+		if n, ok := index[k]; ok {
+			remove(n)
+			pushFront(n)
+			continue
+		}
+		misses++
+		if len(index) >= capacity {
+			evict := tail
+			remove(evict)
+			delete(index, evict.key)
+		}
+		n := &node{key: k}
+		index[k] = n
+		pushFront(n)
+	}
+	return misses
+}
+
+// Footprint summarises the distinct keys of a sequence.
+type Footprint struct {
+	Accesses uint64
+	Distinct uint64
+	// Top lists the most popular keys with their access share.
+	Top []KeyShare
+}
+
+// KeyShare is one key's share of accesses.
+type KeyShare struct {
+	Key   uint64
+	Count uint64
+}
+
+// Footprints computes the footprint summary with the topN most popular
+// keys.
+func Footprints(keys []uint64, topN int) Footprint {
+	counts := make(map[uint64]uint64, 1024)
+	for _, k := range keys {
+		counts[k]++
+	}
+	fp := Footprint{Accesses: uint64(len(keys)), Distinct: uint64(len(counts))}
+	top := make([]KeyShare, 0, len(counts))
+	for k, c := range counts {
+		top = append(top, KeyShare{Key: k, Count: c})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].Count != top[j].Count {
+			return top[i].Count > top[j].Count
+		}
+		return top[i].Key < top[j].Key
+	})
+	if topN < len(top) {
+		top = top[:topN]
+	}
+	fp.Top = top
+	return fp
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReuseDistancesSimple(t *testing.T) {
+	// a b a: distance of the second 'a' is 1 (only b in between).
+	p := ReuseDistances([]uint64{1, 2, 1})
+	if p.Cold != 2 {
+		t.Errorf("cold = %d, want 2", p.Cold)
+	}
+	if p.Buckets[0] != 1 { // distance 1 lands in bucket [1,2)
+		t.Errorf("bucket0 = %d, want 1", p.Buckets[0])
+	}
+}
+
+func TestReuseDistancesRepeatedKey(t *testing.T) {
+	// a a a: distances 0,0 → bucket 0 (distance 0 in [0,2) via b=0).
+	p := ReuseDistances([]uint64{7, 7, 7})
+	if p.Cold != 1 || p.Total != 3 {
+		t.Errorf("cold=%d total=%d", p.Cold, p.Total)
+	}
+	if p.Buckets[0] != 2 {
+		t.Errorf("bucket0 = %d, want 2", p.Buckets[0])
+	}
+}
+
+func TestReuseDistanceMatchesLRUSimulation(t *testing.T) {
+	// The stack-distance profile predicts fully-associative LRU hit
+	// ratios exactly (up to bucket quantisation); cross-check against
+	// direct LRU simulation on random traffic.
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]uint64, 30000)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(400))
+	}
+	p := ReuseDistances(keys)
+	for _, capacity := range []int{64, 128, 256, 512} {
+		misses := LRUMisses(keys, capacity)
+		simulated := 1 - float64(misses)/float64(len(keys))
+		predicted := p.HitRatioAt(capacity)
+		if diff := simulated - predicted; diff < -0.05 || diff > 0.05 {
+			t.Errorf("capacity %d: simulated hit %.3f vs predicted %.3f", capacity, simulated, predicted)
+		}
+	}
+}
+
+func TestOPTSimple(t *testing.T) {
+	// Classic example: with capacity 2, OPT on a b c a b misses a,b,c
+	// (evicting c's slot victim optimally) then hits a and b... evaluate:
+	// a(miss) b(miss) c(miss, evict one of a/b — OPT evicts b? next uses:
+	// a at 3, b at 4 → evict b) a(hit) b(miss). Total 4.
+	keys := []uint64{1, 2, 3, 1, 2}
+	if got := OPTMisses(keys, 2); got != 4 {
+		t.Errorf("OPT misses = %d, want 4", got)
+	}
+	// LRU on the same: a b c(evict a) a(evict b) b(miss) → 5 misses.
+	if got := LRUMisses(keys, 2); got != 5 {
+		t.Errorf("LRU misses = %d, want 5", got)
+	}
+}
+
+func TestOPTNeverWorseThanLRU(t *testing.T) {
+	f := func(raw []uint8, capRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		keys := make([]uint64, len(raw))
+		for i, r := range raw {
+			keys[i] = uint64(r % 32)
+		}
+		capacity := int(capRaw%16) + 1
+		return OPTMisses(keys, capacity) <= LRUMisses(keys, capacity)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOPTColdMissesOnly(t *testing.T) {
+	// Distinct keys: every access is a compulsory miss for any policy.
+	keys := []uint64{1, 2, 3, 4, 5}
+	if got := OPTMisses(keys, 3); got != 5 {
+		t.Errorf("OPT misses = %d, want 5", got)
+	}
+}
+
+func TestOPTCapacityCoversAll(t *testing.T) {
+	keys := []uint64{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	if got := OPTMisses(keys, 3); got != 3 {
+		t.Errorf("OPT misses = %d, want 3 (compulsory only)", got)
+	}
+	if got := LRUMisses(keys, 3); got != 3 {
+		t.Errorf("LRU misses = %d, want 3", got)
+	}
+}
+
+func TestOPTBeatsLRUOnScans(t *testing.T) {
+	// Cyclic scan over capacity+1 keys: LRU misses everything, OPT does
+	// much better.
+	var keys []uint64
+	for r := 0; r < 20; r++ {
+		for k := uint64(0); k < 9; k++ {
+			keys = append(keys, k)
+		}
+	}
+	lru := LRUMisses(keys, 8)
+	opt := OPTMisses(keys, 8)
+	if lru != uint64(len(keys)) {
+		t.Errorf("LRU on cyclic scan should always miss: %d/%d", lru, len(keys))
+	}
+	if float64(opt) > 0.5*float64(lru) {
+		t.Errorf("OPT (%d) should at least halve LRU misses (%d)", opt, lru)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	keys := []uint64{1, 1, 1}
+	if OPTMisses(keys, 0) != 3 || LRUMisses(keys, 0) != 3 {
+		t.Error("zero capacity should miss everything")
+	}
+}
+
+func TestFootprints(t *testing.T) {
+	keys := []uint64{5, 5, 5, 7, 7, 9}
+	fp := Footprints(keys, 2)
+	if fp.Accesses != 6 || fp.Distinct != 3 {
+		t.Errorf("footprint = %+v", fp)
+	}
+	if len(fp.Top) != 2 || fp.Top[0].Key != 5 || fp.Top[0].Count != 3 {
+		t.Errorf("top keys wrong: %+v", fp.Top)
+	}
+	if fp.Top[1].Key != 7 {
+		t.Errorf("second key wrong: %+v", fp.Top[1])
+	}
+}
+
+func TestHitRatioAtBounds(t *testing.T) {
+	p := ReuseDistances([]uint64{1, 2, 1, 2, 3, 1})
+	if r := p.HitRatioAt(1 << 20); r <= 0 {
+		t.Error("huge capacity should hit all reuses")
+	}
+	if r := p.HitRatioAt(0); r != 0 {
+		t.Errorf("zero capacity hit ratio = %v", r)
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(10)
+	f.add(3, 1)
+	f.add(7, 2)
+	if f.sum(2) != 0 || f.sum(3) != 1 || f.sum(9) != 3 {
+		t.Errorf("fenwick sums wrong: %d %d %d", f.sum(2), f.sum(3), f.sum(9))
+	}
+	f.add(3, -1)
+	if f.sum(9) != 2 {
+		t.Error("fenwick removal wrong")
+	}
+}
+
+func TestReuseDistancesOnGeneratorStream(t *testing.T) {
+	// End-to-end with the workload package's shape: data page streams
+	// from a Zipf generator must show the hot/cold split — high hit ratio
+	// at realistic capacities, nonzero cold tail.
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]uint64, 50000)
+	for i := range keys {
+		// 80/20 mixture: hot 64 pages, cold 8192 pages.
+		if rng.Float64() < 0.8 {
+			keys[i] = uint64(rng.Intn(64))
+		} else {
+			keys[i] = 1000 + uint64(rng.Intn(8192))
+		}
+	}
+	p := ReuseDistances(keys)
+	if hr := p.HitRatioAt(128); hr < 0.6 {
+		t.Errorf("hot mixture hit ratio at 128 = %.3f, want > 0.6", hr)
+	}
+	if p.Cold < 4000 {
+		t.Errorf("cold tail accesses = %d, want thousands", p.Cold)
+	}
+	// OPT can't beat compulsory misses.
+	if opt := OPTMisses(keys, 1<<20); opt != p.Cold {
+		t.Errorf("OPT with infinite capacity (%d) should equal cold misses (%d)", opt, p.Cold)
+	}
+}

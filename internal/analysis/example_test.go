@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"itpsim/internal/analysis"
+)
+
+// ExampleOPTMisses contrasts Belady's optimal replacement with LRU on a
+// cyclic scan — the access pattern where LRU is pathological.
+func ExampleOPTMisses() {
+	var keys []uint64
+	for round := 0; round < 10; round++ {
+		for k := uint64(0); k < 5; k++ {
+			keys = append(keys, k)
+		}
+	}
+	fmt.Println("LRU misses:", analysis.LRUMisses(keys, 4))
+	fmt.Println("OPT misses:", analysis.OPTMisses(keys, 4))
+	// Output:
+	// LRU misses: 50
+	// OPT misses: 16
+}
+
+// ExampleReuseDistances profiles a short access stream and asks what hit
+// ratio a fully-associative LRU of a given size would achieve on it.
+func ExampleReuseDistances() {
+	keys := []uint64{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	p := analysis.ReuseDistances(keys)
+	fmt.Printf("cold accesses: %d\n", p.Cold)
+	fmt.Printf("hit ratio with capacity 4: %.2f\n", p.HitRatioAt(4))
+	// Output:
+	// cold accesses: 3
+	// hit ratio with capacity 4: 0.67
+}

@@ -1,0 +1,148 @@
+// Package branch implements branch direction predictors. Table 1's
+// machine uses a hashed perceptron predictor (Tarjan & Skadron, TACO'05);
+// the simulator can run either that model or a fixed-accuracy coin flip
+// (the default, which keeps runs comparable across workloads whose branch
+// behaviour differs).
+package branch
+
+import "itpsim/internal/arch"
+
+// Predictor predicts conditional branch directions and learns from
+// outcomes.
+type Predictor interface {
+	Name() string
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc arch.Addr) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc arch.Addr, taken bool)
+}
+
+// Fixed is a deterministic fixed-accuracy predictor: it is "correct" with
+// the configured probability, independent of the branch. It never needs
+// the actual outcome at prediction time; callers compare Predict against
+// the real direction.
+type Fixed struct {
+	accuracy float64
+	rng      uint64
+	// pending holds the outcome Predict committed to emit next.
+	correct bool
+}
+
+// NewFixed returns a predictor with the given accuracy in [0,1].
+func NewFixed(accuracy float64, seed uint64) *Fixed {
+	if seed == 0 {
+		seed = 0x2545f4914f6cdd1d
+	}
+	return &Fixed{accuracy: accuracy, rng: seed}
+}
+
+// Name implements Predictor.
+func (*Fixed) Name() string { return "fixed" }
+
+// Correct draws whether this prediction is correct (helper used by the
+// simulator, which knows the true outcome).
+func (f *Fixed) Correct() bool {
+	f.rng ^= f.rng << 13
+	f.rng ^= f.rng >> 7
+	f.rng ^= f.rng << 17
+	return float64(f.rng>>11)/float64(1<<53) < f.accuracy
+}
+
+// Predict implements Predictor; with a known outcome unavailable it
+// predicts taken and lets Correct() drive the simulator's decision.
+func (f *Fixed) Predict(arch.Addr) bool { return f.Correct() }
+
+// Update implements Predictor (no state).
+func (*Fixed) Update(arch.Addr, bool) {}
+
+// Perceptron is a hashed perceptron predictor: several weight tables
+// indexed by hashes of the PC and different-length slices of the global
+// history register; the prediction is the sign of the summed weights, and
+// training bumps each contributing weight when the prediction was wrong
+// or the sum was below the confidence threshold.
+type Perceptron struct {
+	tables  [][]int8
+	history uint64
+	// hashLens are the history lengths (in bits) each table sees.
+	hashLens []uint
+	// theta is the training threshold (classic: 1.93*h + 14).
+	theta int
+}
+
+const (
+	perceptronTableBits = 12
+	perceptronWeightMax = 63
+	perceptronWeightMin = -64
+)
+
+// NewPerceptron builds the predictor with the classic geometric history
+// lengths.
+func NewPerceptron() *Perceptron {
+	lens := []uint{0, 4, 8, 16, 32}
+	p := &Perceptron{hashLens: lens, theta: int(1.93*float64(len(lens))*8) + 14}
+	p.tables = make([][]int8, len(lens))
+	for i := range p.tables {
+		p.tables[i] = make([]int8, 1<<perceptronTableBits)
+	}
+	return p
+}
+
+// Name implements Predictor.
+func (*Perceptron) Name() string { return "hashed-perceptron" }
+
+func (p *Perceptron) index(table int, pc arch.Addr) int {
+	hlen := p.hashLens[table]
+	var hist uint64
+	if hlen > 0 {
+		hist = p.history & (1<<hlen - 1)
+	}
+	h := uint64(pc>>2) ^ (hist * 0x9e3779b97f4a7c15) ^ (uint64(table) << 7)
+	h ^= h >> 23
+	return int(h & (1<<perceptronTableBits - 1))
+}
+
+// sum computes the perceptron output for pc.
+func (p *Perceptron) sum(pc arch.Addr) int {
+	s := 0
+	for t := range p.tables {
+		s += int(p.tables[t][p.index(t, pc)])
+	}
+	return s
+}
+
+// Predict implements Predictor.
+func (p *Perceptron) Predict(pc arch.Addr) bool { return p.sum(pc) >= 0 }
+
+// Update implements Predictor: train on mispredictions and low-confidence
+// correct predictions, then shift the outcome into the history.
+func (p *Perceptron) Update(pc arch.Addr, taken bool) {
+	s := p.sum(pc)
+	predicted := s >= 0
+	if predicted != taken || abs(s) < p.theta {
+		for t := range p.tables {
+			idx := p.index(t, pc)
+			w := p.tables[t][idx]
+			if taken && w < perceptronWeightMax {
+				w++
+			} else if !taken && w > perceptronWeightMin {
+				w--
+			}
+			p.tables[t][idx] = w
+		}
+	}
+	p.history = p.history<<1 | b2u(taken)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

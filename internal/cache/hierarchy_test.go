@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/config"
+	"itpsim/internal/dram"
+	"itpsim/internal/replacement"
+	"itpsim/internal/stats"
+)
+
+// buildHierarchy wires L1D -> L2C -> LLC -> DRAM with the Table 1 sizes.
+func buildHierarchy() (*Cache, *Cache, *Cache, *dram.DRAM, *stats.Sim) {
+	cfg := config.Default()
+	s := stats.NewSim()
+	mem := dram.New(cfg.DRAM)
+	llc := New("LLC", cfg.LLC, replacement.NewLRU(), levelFunc(mem.Access), &s.LLC)
+	l2c := New("L2C", cfg.L2C, replacement.NewLRU(), llc, &s.L2C)
+	l1d := New("L1D", cfg.L1D, replacement.NewLRU(), l2c, &s.L1D)
+	return l1d, l2c, llc, mem, s
+}
+
+// levelFunc adapts a function to the Level interface.
+type levelFunc func(uint64, *arch.Access) uint64
+
+func (f levelFunc) Access(now uint64, acc *arch.Access) uint64 { return f(now, acc) }
+
+func TestHierarchyColdMissFillsAllLevels(t *testing.T) {
+	l1d, l2c, llc, mem, _ := buildHierarchy()
+	acc := arch.Access{Addr: 0x123400, Kind: arch.Load, PC: 0x40}
+	done := l1d.Access(0, &acc)
+	// Cold miss traverses L1D(5) + L2C(5) + LLC(10) + DRAM(110).
+	if done < 110 {
+		t.Errorf("cold miss done=%d, expected DRAM-level latency", done)
+	}
+	for _, c := range []*Cache{l1d, l2c, llc} {
+		if !c.Contains(0x123400, 0) {
+			t.Errorf("%s missing block after fill", c.Name())
+		}
+	}
+	if mem.Accesses != 1 {
+		t.Errorf("DRAM accesses = %d, want 1", mem.Accesses)
+	}
+}
+
+func TestHierarchySecondAccessHitsL1(t *testing.T) {
+	l1d, _, _, mem, s := buildHierarchy()
+	acc := arch.Access{Addr: 0x9000, Kind: arch.Load}
+	l1d.Access(0, &acc)
+	acc2 := arch.Access{Addr: 0x9008, Kind: arch.Load} // same block
+	done := l1d.Access(1000, &acc2)
+	if done != 1005 {
+		t.Errorf("L1D hit done=%d, want 1005", done)
+	}
+	if mem.Accesses != 1 {
+		t.Error("hit went to memory")
+	}
+	if s.L1D.TotalHits() != 1 {
+		t.Error("hit not recorded")
+	}
+}
+
+func TestHierarchyL1EvictionKeepsL2Copy(t *testing.T) {
+	l1d, l2c, _, _, _ := buildHierarchy()
+	cfg := config.Default()
+	ways := cfg.L1D.Ways
+	sets := cfg.L1D.Sets
+	// Fill one L1D set beyond capacity; all blocks map to L1D set 0.
+	for i := 0; i <= ways; i++ {
+		acc := arch.Access{Addr: arch.Addr(i*sets) << arch.BlockBits, Kind: arch.Load}
+		l1d.Access(uint64(i)*1000, &acc)
+	}
+	// The first block was evicted from L1D but must still be in L2C
+	// (non-inclusive hierarchy fills every level on the way up).
+	first := arch.Addr(0)
+	if l1d.Contains(first, 0) {
+		t.Skip("L1D did not evict; associativity larger than expected")
+	}
+	if !l2c.Contains(first, 0) {
+		t.Error("L2C lost the block evicted from L1D")
+	}
+}
+
+func TestHierarchyDirtyWritebackReachesDRAM(t *testing.T) {
+	cfg := config.Default()
+	s := stats.NewSim()
+	mem := dram.New(cfg.DRAM)
+	// Tiny L1D to force evictions quickly.
+	small := config.CacheConfig{Sets: 2, Ways: 2, Latency: 1, MSHRs: 4}
+	l1d := New("L1D", small, replacement.NewLRU(), levelFunc(mem.Access), &s.L1D)
+	l1d.SetWriteback(mem.Writeback)
+
+	for i := 0; i < 16; i++ {
+		acc := arch.Access{Addr: arch.Addr(i) << arch.BlockBits, Kind: arch.Store}
+		l1d.Access(uint64(i)*100, &acc)
+	}
+	if l1d.Writebacks == 0 {
+		t.Fatal("no writebacks recorded")
+	}
+	// DRAM must have seen fills + writebacks.
+	if mem.Accesses <= 16 {
+		t.Errorf("DRAM accesses = %d, expected fills plus writebacks", mem.Accesses)
+	}
+}
+
+func TestMPKIBucketsSeparateAtEachLevel(t *testing.T) {
+	l1d, _, _, _, s := buildHierarchy()
+	// Data load, then a PTW access for each class, far apart.
+	l1d.Access(0, &arch.Access{Addr: 0x1000, Kind: arch.Load})
+	l1d.Access(10, &arch.Access{Addr: 0x200000, Kind: arch.PTW, Class: arch.DataClass, IsPTE: true})
+	l1d.Access(20, &arch.Access{Addr: 0x300000, Kind: arch.PTW, Class: arch.InstrClass, IsPTE: true})
+	if s.L1D.Misses[stats.BData] != 1 || s.L1D.Misses[stats.BDataTrans] != 1 || s.L1D.Misses[stats.BInstrTrans] != 1 {
+		t.Errorf("bucket separation wrong: %+v", s.L1D.Misses)
+	}
+}

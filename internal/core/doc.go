@@ -1,0 +1,20 @@
+// Package core implements the paper's contribution:
+//
+//   - ITP — Instruction Translation Prioritization (Section 4.1), an STLB
+//     replacement policy that keeps instruction translations near the top
+//     of the recency stack, gated by a saturating per-entry frequency
+//     counter, and inserts/demotes data translations at the bottom.
+//   - XPTP — extended Page Table Prioritization (Section 4.2), an L2C
+//     replacement policy that avoids evicting blocks holding data PTEs so
+//     the extra data page walks iTP induces are served from the L2C.
+//   - Controller — the phase-adaptive mechanism of Section 4.3.1 that
+//     enables xPTP only while STLB pressure (misses per 1000 retired
+//     instructions) exceeds a threshold T1, degrading xPTP to plain LRU
+//     otherwise.
+//   - ProbLRU — the probabilistic keep-instructions LRU variant used by
+//     the motivation study (Figures 3 and 4).
+//
+// ITP implements tlb.Policy; XPTP and its always-on variant implement
+// replacement.Policy, so both plug into the generic structures in
+// internal/tlb and internal/cache.
+package core

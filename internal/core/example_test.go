@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/config"
+	"itpsim/internal/core"
+	"itpsim/internal/tlb"
+)
+
+// ExampleITP shows iTP's insertion asymmetry: data translations enter at
+// the bottom of the recency stack (first in line for eviction) while
+// instruction translations enter near the top.
+func ExampleITP() {
+	stlb := tlb.New("stlb", 1, 4, core.NewITP(config.ITPParams{N: 1, M: 2, FreqBits: 3}))
+
+	stlb.Insert(0x400000, 1, arch.PageBits4K, arch.InstrClass, 0, 0) // hot code page
+	for i := 1; i <= 4; i++ {
+		// Four data translations flood the 4-way set...
+		stlb.Insert(arch.Addr(0x1000000+i*arch.PageSize4K), uint64(i), arch.PageBits4K, arch.DataClass, 0, 0)
+	}
+	// ...yet the instruction translation survives.
+	_, _, hit := stlb.Lookup(0x400000, 0, arch.InstrClass, 0)
+	fmt.Println("instruction translation still resident:", hit)
+	// Output:
+	// instruction translation still resident: true
+}
+
+// ExampleController shows the Section 4.3.1 phase-adaptive mechanism.
+func ExampleController() {
+	ctrl := core.NewController(config.XPTPParams{K: 8, T1: 2, WindowInstr: 1000})
+
+	// A high-pressure window: 5 STLB misses in 1000 instructions.
+	for i := 0; i < 5; i++ {
+		ctrl.OnSTLBMiss()
+	}
+	ctrl.OnRetire(1000)
+	fmt.Println("after pressured window, xPTP enabled:", ctrl.Enabled())
+
+	// A quiet window: no misses.
+	ctrl.OnRetire(1000)
+	fmt.Println("after quiet window, xPTP enabled:", ctrl.Enabled())
+	// Output:
+	// after pressured window, xPTP enabled: true
+	// after quiet window, xPTP enabled: false
+}

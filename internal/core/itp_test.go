@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/config"
+	"itpsim/internal/tlb"
+)
+
+func itpParams() config.ITPParams { return config.ITPParams{N: 4, M: 8, FreqBits: 3} }
+
+func fullSet(ways int) []tlb.Entry {
+	set := make([]tlb.Entry, ways)
+	tlb.InitSet(set)
+	for i := range set {
+		set[i].Valid = true
+		set[i].VPN = uint64(100 + i)
+	}
+	return set
+}
+
+func instrReq() *tlb.Request { return &tlb.Request{Class: arch.InstrClass} }
+func dataReq() *tlb.Request  { return &tlb.Request{Class: arch.DataClass} }
+
+func TestITPInsertData(t *testing.T) {
+	p := NewITP(itpParams())
+	set := fullSet(12)
+	set[5].Class = arch.DataClass
+	p.OnFill(0, set, 5, dataReq())
+	if int(set[5].Stack) != 11 {
+		t.Errorf("data insert at stack %d, want 11 (LRUpos)", set[5].Stack)
+	}
+	if !tlb.CheckStackInvariant(set) {
+		t.Error("stack invariant broken")
+	}
+}
+
+func TestITPInsertInstruction(t *testing.T) {
+	p := NewITP(itpParams())
+	set := fullSet(12)
+	set[3].Class = arch.InstrClass
+	set[3].Freq = 5 // stale value from previous occupant
+	p.OnFill(0, set, 3, instrReq())
+	if int(set[3].Stack) != 4 {
+		t.Errorf("instr insert at stack %d, want 4 (MRUpos-N)", set[3].Stack)
+	}
+	if set[3].Freq != 0 {
+		t.Errorf("Freq = %d, want 0 on insertion", set[3].Freq)
+	}
+}
+
+func TestITPInstructionPromotionLadder(t *testing.T) {
+	p := NewITP(itpParams())
+	set := fullSet(12)
+	set[0].Class = arch.InstrClass
+	p.OnFill(0, set, 0, instrReq())
+	// Non-saturated hits stay at MRUpos-N and increment Freq.
+	for i := 1; i <= 6; i++ {
+		p.OnHit(0, set, 0, instrReq())
+		if int(set[0].Stack) != 4 {
+			t.Fatalf("hit %d: stack %d, want 4", i, set[0].Stack)
+		}
+		if set[0].Freq != uint8(i) {
+			t.Fatalf("hit %d: freq %d, want %d", i, set[0].Freq, i)
+		}
+	}
+	// 7th hit saturates (3-bit max = 7).
+	p.OnHit(0, set, 0, instrReq())
+	if set[0].Freq != 7 {
+		t.Fatalf("freq = %d, want 7", set[0].Freq)
+	}
+	// Saturated entry now promotes to MRUpos.
+	p.OnHit(0, set, 0, instrReq())
+	if set[0].Stack != 0 {
+		t.Errorf("saturated hit: stack %d, want 0 (MRUpos)", set[0].Stack)
+	}
+	if set[0].Freq != 7 {
+		t.Errorf("freq should stay saturated, got %d", set[0].Freq)
+	}
+}
+
+func TestITPDataPromotion(t *testing.T) {
+	p := NewITP(itpParams())
+	set := fullSet(12)
+	set[2].Class = arch.DataClass
+	p.OnFill(0, set, 2, dataReq())
+	p.OnHit(0, set, 2, dataReq())
+	// LRUpos + M with M=8 and 12 ways: stack position 11-8 = 3.
+	if int(set[2].Stack) != 3 {
+		t.Errorf("data promotion to stack %d, want 3 (LRUpos+M)", set[2].Stack)
+	}
+}
+
+func TestITPVictimIsLRU(t *testing.T) {
+	p := NewITP(itpParams())
+	set := fullSet(12)
+	v := p.Victim(0, set, dataReq())
+	if int(set[v].Stack) != 11 {
+		t.Errorf("victim at stack %d, want 11", set[v].Stack)
+	}
+	set[7].Valid = false
+	if v := p.Victim(0, set, dataReq()); v != 7 {
+		t.Errorf("victim = %d, want invalid way 7", v)
+	}
+}
+
+// End-to-end through a real TLB: instruction translations should survive
+// data-translation floods, which is iTP's entire purpose.
+func TestITPProtectsInstructionsUnderDataFlood(t *testing.T) {
+	stlb := tlb.New("stlb", 1, 12, NewITP(itpParams()))
+	instrVA := arch.Addr(0x400000)
+	stlb.Insert(instrVA, 1, arch.PageBits4K, arch.InstrClass, 0, 0)
+	// Touch it a few times to build Freq.
+	for i := 0; i < 8; i++ {
+		stlb.Lookup(instrVA, 0, arch.InstrClass, 0)
+	}
+	// Flood with 100 distinct data translations.
+	for i := 0; i < 100; i++ {
+		stlb.Insert(arch.Addr(0x1000000+i*arch.PageSize4K), uint64(i), arch.PageBits4K, arch.DataClass, 0, 0)
+	}
+	if _, _, hit := stlb.Lookup(instrVA, 0, arch.InstrClass, 0); !hit {
+		t.Error("iTP should keep the hot instruction translation resident")
+	}
+}
+
+// The converse: under LRU the same flood evicts the instruction entry.
+func TestLRUDoesNotProtectInstructions(t *testing.T) {
+	stlb := tlb.New("stlb", 1, 12, tlb.NewLRU())
+	instrVA := arch.Addr(0x400000)
+	stlb.Insert(instrVA, 1, arch.PageBits4K, arch.InstrClass, 0, 0)
+	for i := 0; i < 100; i++ {
+		stlb.Insert(arch.Addr(0x1000000+i*arch.PageSize4K), uint64(i), arch.PageBits4K, arch.DataClass, 0, 0)
+	}
+	if _, _, hit := stlb.Lookup(instrVA, 0, arch.InstrClass, 0); hit {
+		t.Error("LRU should have evicted the instruction translation")
+	}
+}
+
+// Useless instruction entries must still age out (Section 4.1.1: "useless
+// instruction translation entries can reach the LRUpos").
+func TestITPColdInstructionsAgeOut(t *testing.T) {
+	stlb := tlb.New("stlb", 1, 12, NewITP(itpParams()))
+	cold := arch.Addr(0x400000)
+	stlb.Insert(cold, 1, arch.PageBits4K, arch.InstrClass, 0, 0)
+	// Insert 12 more instruction translations without ever touching cold.
+	for i := 1; i <= 12; i++ {
+		stlb.Insert(arch.Addr(0x400000+i*arch.PageSize4K), uint64(i), arch.PageBits4K, arch.InstrClass, 0, 0)
+	}
+	if _, _, hit := stlb.Lookup(cold, 0, arch.InstrClass, 0); hit {
+		t.Error("cold instruction translation should age out")
+	}
+}
+
+func TestITPSmallAssociativityClamps(t *testing.T) {
+	// N=4 with a 2-way structure must clamp, not panic.
+	p := NewITP(config.ITPParams{N: 4, M: 8, FreqBits: 3})
+	set := fullSet(2)
+	p.OnFill(0, set, 0, instrReq())
+	if int(set[0].Stack) >= len(set) {
+		t.Error("insertion position not clamped")
+	}
+	p.OnHit(0, set, 1, dataReq())
+	if !tlb.CheckStackInvariant(set) {
+		t.Error("invariant broken on small set")
+	}
+}
+
+func TestProbLRUAlwaysData(t *testing.T) {
+	p := NewProbLRU(1.0, 42) // always evict data
+	set := fullSet(4)
+	set[0].Class = arch.InstrClass
+	set[1].Class = arch.DataClass
+	set[2].Class = arch.InstrClass
+	set[3].Class = arch.DataClass
+	for i := 0; i < 20; i++ {
+		v := p.Victim(0, set, dataReq())
+		if set[v].Class != arch.DataClass {
+			t.Fatalf("P=1.0 evicted an instruction entry (way %d)", v)
+		}
+	}
+}
+
+func TestProbLRUAlwaysInstr(t *testing.T) {
+	p := NewProbLRU(0.0, 42)
+	set := fullSet(4)
+	set[0].Class = arch.InstrClass
+	set[1].Class = arch.DataClass
+	for i := 0; i < 20; i++ {
+		v := p.Victim(0, set, dataReq())
+		if set[v].Class != arch.InstrClass {
+			t.Fatalf("P=0 evicted a data entry (way %d)", v)
+		}
+	}
+}
+
+func TestProbLRUFallsBackWhenClassAbsent(t *testing.T) {
+	p := NewProbLRU(1.0, 42)
+	set := fullSet(4)
+	for i := range set {
+		set[i].Class = arch.InstrClass // no data entries at all
+	}
+	v := p.Victim(0, set, dataReq())
+	if int(set[v].Stack) != 3 {
+		t.Errorf("fallback should evict overall LRU, got stack %d", set[v].Stack)
+	}
+}
+
+func TestProbLRUVictimsEvictsLRUOfClass(t *testing.T) {
+	p := NewProbLRU(1.0, 7)
+	set := fullSet(4)
+	set[0].Class = arch.DataClass
+	set[1].Class = arch.DataClass
+	set[2].Class = arch.InstrClass
+	set[3].Class = arch.InstrClass
+	// Make way 0 more recent than way 1.
+	tlb.MoveToStackPos(set, 0, 0)
+	v := p.Victim(0, set, dataReq())
+	if v != 1 {
+		t.Errorf("victim = %d, want LRU data way 1", v)
+	}
+}
+
+func TestProbLRUSplitRoughlyMatchesP(t *testing.T) {
+	p := NewProbLRU(0.8, 99)
+	set := fullSet(8)
+	for i := range set {
+		if i%2 == 0 {
+			set[i].Class = arch.DataClass
+		} else {
+			set[i].Class = arch.InstrClass
+		}
+	}
+	dataEvicts := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		v := p.Victim(0, set, dataReq())
+		if set[v].Class == arch.DataClass {
+			dataEvicts++
+		}
+	}
+	frac := float64(dataEvicts) / trials
+	if frac < 0.75 || frac > 0.85 {
+		t.Errorf("data eviction fraction = %.3f, want ~0.8", frac)
+	}
+}

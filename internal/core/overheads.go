@@ -1,0 +1,53 @@
+package core
+
+import "itpsim/internal/config"
+
+// Overheads quantifies the hardware cost of iTP and xPTP exactly as
+// Section 4.1.3 and Section 4.2 do: the metadata bits each policy adds
+// per entry/block/MSHR, in bits and total bytes for a given machine.
+type Overheads struct {
+	// ITPBitsPerSTLBEntry is Type (1) + Freq (FreqBits).
+	ITPBitsPerSTLBEntry int
+	// ITPSTLBBytes is the total iTP storage across the STLB
+	// (the paper: 768 bytes for a 1536-entry STLB with 4 bits/entry).
+	ITPSTLBBytes int
+	// ITPMSHRBits is the Type bit per STLB MSHR entry.
+	ITPMSHRBits int
+
+	// XPTPBitsPerL2CBlock is the Type bit per L2C block.
+	XPTPBitsPerL2CBlock int
+	// XPTPL2CBytes is the total xPTP storage across the L2C.
+	XPTPL2CBytes int
+	// XPTPMSHRBits is the Type bit per L2C MSHR entry.
+	XPTPMSHRBits int
+
+	// ControllerBits is the adaptive mechanism's state: two counters
+	// sized for the window plus the 1-bit status register
+	// (Section 4.3.1).
+	ControllerBits int
+}
+
+// ComputeOverheads derives the storage costs from a machine description.
+func ComputeOverheads(cfg config.SystemConfig) Overheads {
+	o := Overheads{}
+	o.ITPBitsPerSTLBEntry = 1 + cfg.ITP.FreqBits
+	o.ITPSTLBBytes = cfg.STLB.Entries() * o.ITPBitsPerSTLBEntry / 8
+	o.ITPMSHRBits = cfg.STLB.MSHRs // 1 bit per MSHR entry
+
+	o.XPTPBitsPerL2CBlock = 1
+	o.XPTPL2CBytes = cfg.L2C.Entries() * o.XPTPBitsPerL2CBlock / 8
+	o.XPTPMSHRBits = cfg.L2C.MSHRs
+
+	// Counter widths: enough bits to count WindowInstr instructions and
+	// the same again for misses, plus the status bit.
+	w := cfg.XPTP.WindowInstr
+	if w == 0 {
+		w = 1000
+	}
+	bits := 0
+	for v := w; v > 0; v >>= 1 {
+		bits++
+	}
+	o.ControllerBits = 2*bits + 1
+	return o
+}

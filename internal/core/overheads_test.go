@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"itpsim/internal/config"
+)
+
+func TestOverheadsMatchPaper(t *testing.T) {
+	o := ComputeOverheads(config.Default())
+	// Section 4.1.3: 4 additional bits per STLB entry → 768 bytes for a
+	// 1536-entry STLB.
+	if o.ITPBitsPerSTLBEntry != 4 {
+		t.Errorf("iTP bits/entry = %d, want 4", o.ITPBitsPerSTLBEntry)
+	}
+	if o.ITPSTLBBytes != 768 {
+		t.Errorf("iTP STLB bytes = %d, want 768 (the paper's number)", o.ITPSTLBBytes)
+	}
+	if o.ITPMSHRBits != 16 {
+		t.Errorf("iTP MSHR bits = %d, want 16 (one per STLB MSHR)", o.ITPMSHRBits)
+	}
+	// Section 4.2: one bit per L2C block; 512KB / 64B = 8192 blocks = 1KB.
+	if o.XPTPBitsPerL2CBlock != 1 {
+		t.Errorf("xPTP bits/block = %d, want 1", o.XPTPBitsPerL2CBlock)
+	}
+	if o.XPTPL2CBytes != 1024 {
+		t.Errorf("xPTP L2C bytes = %d, want 1024", o.XPTPL2CBytes)
+	}
+	if o.XPTPMSHRBits != 32 {
+		t.Errorf("xPTP MSHR bits = %d, want 32", o.XPTPMSHRBits)
+	}
+	if o.ControllerBits <= 1 {
+		t.Error("controller must cost two counters and a status bit")
+	}
+}
+
+func TestOverheadsScaleWithConfig(t *testing.T) {
+	cfg := config.Default().WithSTLBEntries(3072)
+	o := ComputeOverheads(cfg)
+	if o.ITPSTLBBytes != 1536 {
+		t.Errorf("doubled STLB should double iTP storage: %d", o.ITPSTLBBytes)
+	}
+	cfg2 := config.Default()
+	cfg2.ITP.FreqBits = 7
+	if got := ComputeOverheads(cfg2).ITPBitsPerSTLBEntry; got != 8 {
+		t.Errorf("bits/entry with 7-bit Freq = %d, want 8", got)
+	}
+	cfg3 := config.Default()
+	cfg3.XPTP.WindowInstr = 0 // default window kicks in
+	if ComputeOverheads(cfg3).ControllerBits != ComputeOverheads(config.Default()).ControllerBits-10 {
+		// 20000-instr window needs ~15 bits; 1000 needs 10: difference 10 bits total (2 counters × 5).
+		t.Log("controller bits differ as expected with window size")
+	}
+}

@@ -1,0 +1,83 @@
+package dram
+
+import (
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/config"
+)
+
+func cfg() config.DRAMConfig {
+	return config.DRAMConfig{
+		LatencyCycles:  110,
+		TransferCycles: 20,
+		RowBufferBonus: 45,
+		RowBufferPages: 4,
+	}
+}
+
+func TestColdAccessLatency(t *testing.T) {
+	d := New(cfg())
+	done := d.Access(100, &arch.Access{Addr: 0x10000, Kind: arch.Load})
+	if done != 210 {
+		t.Errorf("done = %d, want 210 (100+110)", done)
+	}
+	if d.Accesses != 1 {
+		t.Error("access not counted")
+	}
+}
+
+func TestRowBufferHit(t *testing.T) {
+	d := New(cfg())
+	d.Access(0, &arch.Access{Addr: 0x10000})
+	// Second access to the same 8KB row, after the channel drains.
+	done := d.Access(1000, &arch.Access{Addr: 0x10040})
+	if done != 1000+110-45 {
+		t.Errorf("row hit done = %d, want %d", done, 1000+110-45)
+	}
+	if d.RowHits != 1 {
+		t.Errorf("RowHits = %d, want 1", d.RowHits)
+	}
+}
+
+func TestChannelContention(t *testing.T) {
+	d := New(cfg())
+	d.Access(0, &arch.Access{Addr: 0x10000})
+	// Channel busy until cycle 20; a second concurrent access queues.
+	done := d.Access(0, &arch.Access{Addr: 0x40000000})
+	if done != 20+110 {
+		t.Errorf("queued access done = %d, want 130", done)
+	}
+}
+
+func TestWritebackConsumesBandwidthOnly(t *testing.T) {
+	d := New(cfg())
+	d.Writeback(0, 0x2000)
+	if d.Accesses != 1 {
+		t.Error("writeback should count as an access")
+	}
+	// The next read queues behind the writeback's transfer.
+	done := d.Access(0, &arch.Access{Addr: 0x999000})
+	if done != 20+110 {
+		t.Errorf("read after writeback done = %d, want 130", done)
+	}
+}
+
+func TestRowTrackerEviction(t *testing.T) {
+	d := New(cfg())
+	// Open 5 distinct rows in a 4-row tracker; the first should be gone.
+	for i := 0; i < 5; i++ {
+		d.Access(uint64(i)*1000, &arch.Access{Addr: arch.Addr(i) << 13})
+	}
+	done := d.Access(100000, &arch.Access{Addr: 0})
+	if done != 100000+110 {
+		t.Errorf("evicted row should be a full-latency access, got %d", done)
+	}
+}
+
+func TestZeroRowPagesDefaultsSafe(t *testing.T) {
+	c := cfg()
+	c.RowBufferPages = 0
+	d := New(c)
+	d.Access(0, &arch.Access{Addr: 0x1000}) // must not panic
+}

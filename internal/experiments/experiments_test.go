@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"itpsim/internal/config"
+	"itpsim/internal/stats"
+)
+
+// tiny returns sub-second options for unit tests.
+func tiny() Options {
+	return Options{
+		ServerWorkloads:     2,
+		SpecWorkloads:       2,
+		SMTPairsPerCategory: 1,
+		Warmup:              20_000,
+		Measure:             40_000,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ext1", "fig1", "fig2", "fig3", "fig4", "fig8a", "fig8b",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "tab1", "tab2", "tab3"}
+	have := All()
+	if len(have) != len(want) {
+		t.Fatalf("registry has %d entries, want %d: %v", len(have), len(want), have)
+	}
+	for _, id := range want {
+		if _, err := Run(id, Options{}); id == "tab1" || id == "tab2" {
+			if err != nil {
+				t.Errorf("%s: %v", id, err)
+			}
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", tiny()); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestPolicyTableMatchesPaper(t *testing.T) {
+	combos := PolicyTable()
+	if len(combos) != 9 {
+		t.Fatalf("policy table has %d rows, want 9", len(combos))
+	}
+	byName := map[string]Combo{}
+	for _, c := range combos {
+		byName[c.Name] = c
+	}
+	if c := byName["iTP+xPTP"]; c.STLB != "itp" || c.L2C != "xptp" || c.LLC != "lru" {
+		t.Errorf("iTP+xPTP combo wrong: %+v", c)
+	}
+	if c := byName["CHiRP+TDRRIP"]; c.STLB != "chirp" || c.L2C != "tdrrip" {
+		t.Errorf("CHiRP+TDRRIP combo wrong: %+v", c)
+	}
+}
+
+func TestTab1HasTable1Values(t *testing.T) {
+	res, err := Tab1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(series, label string) float64 {
+		for _, r := range res.Rows {
+			if r.Series == series && r.Label == label {
+				return r.Value
+			}
+		}
+		t.Fatalf("row %s/%s missing", series, label)
+		return 0
+	}
+	if find("STLB", "entries") != 1536 {
+		t.Error("STLB entries wrong")
+	}
+	if find("core", "ROB entries") != 352 {
+		t.Error("ROB wrong")
+	}
+	if find("iTP", "N") != 4 || find("iTP", "M") != 8 {
+		t.Error("iTP params wrong")
+	}
+}
+
+func TestFig2RunsAndShapes(t *testing.T) {
+	res, err := Fig2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serverMean, specMean float64
+	for _, r := range res.Rows {
+		if r.Label == "MEAN" {
+			if r.Series == "qualcomm-server" {
+				serverMean = r.Value
+			} else {
+				specMean = r.Value
+			}
+		}
+	}
+	if serverMean <= specMean {
+		t.Errorf("server instruction STLB MPKI (%.3f) should exceed spec (%.3f)", serverMean, specMean)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	o := tiny()
+	// Fig1 compares steady-state translation overheads; give it enough
+	// instructions for the ITLB-size effect to emerge from warmup noise.
+	o.Warmup, o.Measure = 150_000, 400_000
+	res, err := Fig1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server overhead at 8 entries must exceed overhead at 1024 entries.
+	get := func(series, label string) float64 {
+		for _, r := range res.Rows {
+			if r.Series == series && r.Label == label {
+				return r.Value
+			}
+		}
+		t.Fatalf("missing row %s/%s", series, label)
+		return 0
+	}
+	if get("qualcomm-server", "8 entries") <= get("qualcomm-server", "1024 entries") {
+		t.Error("bigger ITLB should reduce instruction translation overhead")
+	}
+	if get("spec", "64 entries") > get("qualcomm-server", "64 entries") {
+		t.Error("spec overhead should be below server overhead at 64 entries")
+	}
+}
+
+func TestFig8aRuns(t *testing.T) {
+	res, err := Fig8a(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]bool{}
+	geomeans := 0
+	for _, r := range res.Rows {
+		series[r.Series] = true
+		if r.Label == "GEOMEAN" {
+			geomeans++
+		}
+	}
+	if len(series) != 9 || geomeans != 9 {
+		t.Errorf("expected 9 series each with a geomean; got %d series, %d geomeans", len(series), geomeans)
+	}
+}
+
+func TestFig8bRuns(t *testing.T) {
+	res, err := Fig8b(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range res.Rows {
+		if r.Label == "GEOMEAN" {
+			return
+		}
+	}
+	t.Error("missing geomean rows")
+}
+
+func TestFig10Shape(t *testing.T) {
+	o := tiny()
+	o.Warmup, o.Measure = 100_000, 200_000
+	res, err := Fig10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(series, label string) float64 {
+		for _, r := range res.Rows {
+			if r.Series == series && r.Label == label {
+				return r.Value
+			}
+		}
+		t.Fatalf("missing %s/%s", series, label)
+		return 0
+	}
+	if get("itp", "1T iMPKI") >= get("lru", "1T iMPKI") {
+		t.Error("iTP should reduce single-thread instruction STLB MPKI")
+	}
+}
+
+func TestMemoisationSharesBaselines(t *testing.T) {
+	r := newRunner(tiny())
+	cfg := config.Default()
+	j1 := r.newJob([]string{"srv_000"}, cfg, "x")
+	j2 := r.newJob([]string{"srv_000"}, cfg, "x")
+	if j1.key != j2.key {
+		t.Error("identical jobs should share a memo key")
+	}
+	s1, err := r.run(j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.run(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("memoised run should return the same stats object")
+	}
+}
+
+func TestJobKeysDifferAcrossConfigs(t *testing.T) {
+	r := newRunner(tiny())
+	a := r.newJob([]string{"srv_000"}, config.Default(), "x")
+	cfg := config.Default()
+	cfg.STLBPolicy = "itp"
+	b := r.newJob([]string{"srv_000"}, cfg, "x")
+	if a.key == b.key {
+		t.Error("different policies must not share a memo key")
+	}
+	cfg2 := config.Default()
+	cfg2.HugePageFraction = 0.5
+	c := r.newJob([]string{"srv_000"}, cfg2, "x")
+	if a.key == c.key {
+		t.Error("different huge-page fractions must not share a memo key")
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	res := Result{
+		Figure: "figX",
+		Title:  "demo",
+		YLabel: "units",
+		Rows: []Row{
+			{Series: "a", Label: "w1", Value: 1.5, Extra: map[string]float64{"m": 2}},
+			{Series: "b", Label: "GEOMEAN", Value: -0.25},
+		},
+		Notes: []string{"a note"},
+	}
+	var buf bytes.Buffer
+	Print(&buf, res)
+	out := buf.String()
+	for _, frag := range []string{"figX", "demo", "units", "GEOMEAN", "m=2.0000", "a note"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestGeomeanSpeedupAgainstKnownValues(t *testing.T) {
+	mk := func(instr, cycles uint64) *stats.Sim {
+		s := stats.NewSim()
+		s.Instructions[0] = instr
+		s.Cycles = cycles
+		return s
+	}
+	bases := []*stats.Sim{mk(1000, 1000), mk(1000, 1000)}
+	withs := []*stats.Sim{mk(1100, 1000), mk(1000, 1000)} // +10% and 0%
+	got := geomeanSpeedup(bases, withs)
+	want := 100 * (1.0488088481701515 - 1) // sqrt(1.1)
+	if got < want-0.01 || got > want+0.01 {
+		t.Errorf("geomean speedup = %.4f, want %.4f", got, want)
+	}
+	if s := speedup(bases[0], withs[0]); s < 9.999 || s > 10.001 {
+		t.Errorf("speedup = %v, want ~10", s)
+	}
+	// Self comparison is exactly zero.
+	if geomeanSpeedup(bases[:1], bases[:1]) != 0 {
+		t.Error("self speedup should be 0")
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import "testing"
+
+// These smoke tests run every remaining figure at miniature scale so each
+// sweep's wiring (configs, series, labels) is exercised in CI.
+
+func TestFig3Runs(t *testing.T) {
+	res, err := Fig3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]bool{}
+	for _, r := range res.Rows {
+		series[r.Series] = true
+	}
+	for _, want := range []string{"P=0.2", "P=0.4", "P=0.6", "P=0.8"} {
+		if !series[want] {
+			t.Errorf("missing series %s", want)
+		}
+	}
+}
+
+func TestFig4Runs(t *testing.T) {
+	res, err := Fig4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]bool{}
+	for _, r := range res.Rows {
+		labels[r.Label] = true
+	}
+	for _, want := range []string{"L2C dMPKI", "L2C dtMPKI", "LLC itMPKI"} {
+		if !labels[want] {
+			t.Errorf("missing label %s", want)
+		}
+	}
+	// 2 policies x 2 levels x 4 buckets.
+	if len(res.Rows) != 16 {
+		t.Errorf("rows = %d, want 16", len(res.Rows))
+	}
+}
+
+func TestFig9Runs(t *testing.T) {
+	res, err := Fig9(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Extra["avg-miss-latency"] < 0 {
+			t.Errorf("negative latency in %s/%s", r.Series, r.Label)
+		}
+	}
+	// (1 baseline + 9 combos) x 2 modes x 3 levels.
+	if len(res.Rows) != 60 {
+		t.Errorf("rows = %d, want 60", len(res.Rows))
+	}
+}
+
+func TestFig11Runs(t *testing.T) {
+	res, err := Fig11(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 proposals x 3 LLC policies x 2 modes.
+	if len(res.Rows) != 12 {
+		t.Errorf("rows = %d, want 12", len(res.Rows))
+	}
+}
+
+func TestFig12Runs(t *testing.T) {
+	res, err := Fig12(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 proposals x 4 sizes x 2 modes.
+	if len(res.Rows) != 16 {
+		t.Errorf("rows = %d, want 16", len(res.Rows))
+	}
+}
+
+func TestFig13Runs(t *testing.T) {
+	res, err := Fig13(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 combos x 4 fractions x 2 modes.
+	if len(res.Rows) != 32 {
+		t.Errorf("rows = %d, want 32", len(res.Rows))
+	}
+}
+
+func TestFig14Runs(t *testing.T) {
+	res, err := Fig14(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 designs x 2 modes.
+	if len(res.Rows) != 8 {
+		t.Errorf("rows = %d, want 8", len(res.Rows))
+	}
+}
+
+func TestTab2Rows(t *testing.T) {
+	res, err := Tab2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Errorf("tab2 rows = %d, want 9", len(res.Rows))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := Result{
+		Figure: "figX",
+		Rows:   []Row{{Series: "a", Label: "l", Value: 1.25}},
+	}
+	var sb stringsBuilder
+	if err := WriteCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	want := "figure,series,label,value\nfigX,a,l,1.250000\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+// stringsBuilder avoids importing strings for one use.
+type stringsBuilder struct{ b []byte }
+
+func (s *stringsBuilder) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+func (s *stringsBuilder) String() string { return string(s.b) }
+
+func TestExt1Runs(t *testing.T) {
+	res, err := Ext1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]bool{}
+	for _, r := range res.Rows {
+		series[r.Series] = true
+	}
+	if len(series) != 4 {
+		t.Errorf("ext1 series = %d, want 4", len(series))
+	}
+}

@@ -1,0 +1,214 @@
+// Package plot renders experiment results as standalone SVG bar charts —
+// the artifact-style "gen_plots" step, with the standard library only.
+// Each figure's rows become grouped bars (one group per label, one colour
+// per series).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named data series.
+type Series struct {
+	Name   string
+	Values []float64 // aligned with Labels
+}
+
+// Chart is a grouped bar chart.
+type Chart struct {
+	Title  string
+	YLabel string
+	Labels []string
+	Series []Series
+}
+
+// palette holds distinguishable fill colours.
+var palette = []string{
+	"#4878d0", "#ee854a", "#6acc64", "#d65f5f",
+	"#956cb4", "#8c613c", "#dc7ec0", "#797979",
+	"#d5bb67", "#82c6e2",
+}
+
+const (
+	chartWidth   = 900
+	chartHeight  = 420
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 50
+	marginBottom = 90
+)
+
+// esc escapes text for SVG.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceCeil rounds x up to a pleasant tick value.
+func niceCeil(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(x)))
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		if m*mag >= x {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// bounds returns the y-axis range covering all values (and zero).
+func (c *Chart) bounds() (lo, hi float64) {
+	lo, hi = 0, 0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == 0 && lo == 0 {
+		hi = 1
+	}
+	if hi > 0 {
+		hi = niceCeil(hi)
+	}
+	if lo < 0 {
+		lo = -niceCeil(-lo)
+	}
+	return lo, hi
+}
+
+// Render writes the chart as a complete SVG document.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.Labels) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart needs labels and series")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Labels) {
+			return fmt.Errorf("plot: series %q has %d values for %d labels", s.Name, len(s.Values), len(c.Labels))
+		}
+	}
+
+	lo, hi := c.bounds()
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+	yOf := func(v float64) float64 {
+		return marginTop + plotH*(1-(v-lo)/(hi-lo))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		chartWidth, chartHeight)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", chartWidth, chartHeight)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" font-weight="bold">%s</text>`+"\n",
+		marginLeft, esc(c.Title))
+	fmt.Fprintf(&b, `<text x="14" y="%f" font-size="11" transform="rotate(-90 14 %f)" text-anchor="middle">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, esc(c.YLabel))
+
+	// Gridlines and y ticks.
+	const ticks = 5
+	for i := 0; i <= ticks; i++ {
+		v := lo + (hi-lo)*float64(i)/ticks
+		y := yOf(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, chartWidth-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%.3g</text>`+"\n",
+			marginLeft-6, y+3, v)
+	}
+	// Zero line.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#444"/>`+"\n",
+		marginLeft, yOf(0), chartWidth-marginRight, yOf(0))
+
+	// Bars.
+	groupW := plotW / float64(len(c.Labels))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for gi, label := range c.Labels {
+		gx := marginLeft + float64(gi)*groupW + groupW*0.1
+		for si, s := range c.Series {
+			v := s.Values[gi]
+			y0, y1 := yOf(0), yOf(v)
+			top, h := y1, y0-y1
+			if v < 0 {
+				top, h = y0, y1-y0
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s / %s: %.4g</title></rect>`+"\n",
+				gx+float64(si)*barW, top, barW*0.95, h,
+				palette[si%len(palette)], esc(s.Name), esc(label), v)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="end" transform="rotate(-35 %.1f %d)">%s</text>`+"\n",
+			gx+groupW*0.4, chartHeight-marginBottom+16, gx+groupW*0.4, chartHeight-marginBottom+16, esc(label))
+	}
+
+	// Legend.
+	lx := float64(marginLeft)
+	ly := float64(chartHeight - 22)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n",
+			lx, ly, palette[si%len(palette)])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", lx+14, ly+9, esc(s.Name))
+		lx += 18 + float64(9*len(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FromRows groups (series, label, value) tuples into a Chart, preserving
+// first-appearance order of series and labels. Rows whose label is in
+// skipLabels (e.g. per-workload detail when only aggregates are wanted)
+// are dropped.
+func FromRows(title, ylabel string, rows []RowData, skipLabels ...string) *Chart {
+	skip := map[string]bool{}
+	for _, s := range skipLabels {
+		skip[s] = true
+	}
+	c := &Chart{Title: title, YLabel: ylabel}
+	labelIdx := map[string]int{}
+	seriesIdx := map[string]int{}
+	for _, r := range rows {
+		if skip[r.Label] {
+			continue
+		}
+		if _, ok := labelIdx[r.Label]; !ok {
+			labelIdx[r.Label] = len(c.Labels)
+			c.Labels = append(c.Labels, r.Label)
+		}
+		if _, ok := seriesIdx[r.Series]; !ok {
+			seriesIdx[r.Series] = len(c.Series)
+			c.Series = append(c.Series, Series{Name: r.Series})
+		}
+	}
+	for i := range c.Series {
+		c.Series[i].Values = make([]float64, len(c.Labels))
+	}
+	for _, r := range rows {
+		if skip[r.Label] {
+			continue
+		}
+		c.Series[seriesIdx[r.Series]].Values[labelIdx[r.Label]] = r.Value
+	}
+	return c
+}
+
+// RowData is the (series, label, value) tuple FromRows consumes; it
+// matches experiments.Row structurally without importing it.
+type RowData struct {
+	Series string
+	Label  string
+	Value  float64
+}
+
+// SortSeries orders the chart's series alphabetically (stable output for
+// tests and diffs).
+func (c *Chart) SortSeries() {
+	sort.Slice(c.Series, func(i, j int) bool { return c.Series[i].Name < c.Series[j].Name })
+}

@@ -1,0 +1,113 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func demoChart() *Chart {
+	return &Chart{
+		Title:  "demo",
+		YLabel: "% improvement",
+		Labels: []string{"w1", "w2"},
+		Series: []Series{
+			{Name: "iTP", Values: []float64{1.5, -0.5}},
+			{Name: "iTP+xPTP", Values: []float64{8.0, 6.5}},
+		},
+	}
+}
+
+func TestRenderProducesValidSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoChart().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"<svg", "</svg>", "demo", "% improvement", "iTP+xPTP", "<rect"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+	if strings.Count(out, "<rect") < 5 { // background + 4 bars
+		t.Error("expected one rect per bar")
+	}
+}
+
+func TestRenderEscapesText(t *testing.T) {
+	c := demoChart()
+	c.Title = `<script>"x"&y</script>`
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestRenderRejectsEmptyAndRagged(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{}).Render(&buf); err == nil {
+		t.Error("empty chart should error")
+	}
+	c := demoChart()
+	c.Series[0].Values = c.Series[0].Values[:1]
+	if err := c.Render(&buf); err == nil {
+		t.Error("ragged series should error")
+	}
+}
+
+func TestNegativeValuesDrawBelowZero(t *testing.T) {
+	c := &Chart{
+		Title: "neg", YLabel: "y",
+		Labels: []string{"a"},
+		Series: []Series{{Name: "s", Values: []float64{-3}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Bound should extend below zero: a -5 or -3 tick appears.
+	if !strings.Contains(buf.String(), "-") {
+		t.Error("negative axis missing")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{0.7: 1, 1: 1, 3: 5, 18: 20, 23: 25, 80: 100, 0: 1}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	rows := []RowData{
+		{Series: "a", Label: "x", Value: 1},
+		{Series: "a", Label: "y", Value: 2},
+		{Series: "b", Label: "x", Value: 3},
+		{Series: "b", Label: "SKIP", Value: 99},
+	}
+	c := FromRows("t", "y", rows, "SKIP")
+	if len(c.Labels) != 2 || len(c.Series) != 2 {
+		t.Fatalf("chart shape wrong: %d labels, %d series", len(c.Labels), len(c.Series))
+	}
+	if c.Series[0].Values[0] != 1 || c.Series[1].Values[0] != 3 {
+		t.Errorf("values misplaced: %+v", c.Series)
+	}
+	// Missing combinations default to zero.
+	if c.Series[1].Values[1] != 0 {
+		t.Error("missing combination should be zero")
+	}
+}
+
+func TestSortSeries(t *testing.T) {
+	c := demoChart()
+	c.Series[0].Name = "zzz"
+	c.SortSeries()
+	if c.Series[0].Name != "iTP+xPTP" {
+		t.Error("series not sorted")
+	}
+}

@@ -1,0 +1,204 @@
+package ptw
+
+import (
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/config"
+	"itpsim/internal/stats"
+	"itpsim/internal/vm"
+)
+
+// countingMem records PTW accesses with a fixed latency.
+type countingMem struct {
+	latency uint64
+	n       int
+	classes []arch.Class
+	addrs   []arch.Addr
+}
+
+func (m *countingMem) Access(now uint64, acc *arch.Access) uint64 {
+	m.n++
+	m.classes = append(m.classes, acc.Class)
+	m.addrs = append(m.addrs, acc.Addr)
+	if !acc.IsPTE || acc.Kind != arch.PTW {
+		panic("walker must issue PTW/PTE accesses")
+	}
+	return now + m.latency
+}
+
+func setup() (*Walker, *countingMem, *vm.PageTable, *stats.Sim) {
+	cfg := config.Default()
+	mem := &countingMem{latency: 50}
+	sim := stats.NewSim()
+	w := New(&cfg, mem, sim)
+	pt := vm.NewPageTable(vm.NewPhysAlloc(8<<30), 0, 1)
+	return w, mem, pt, sim
+}
+
+func TestColdWalkDoesAllLevels(t *testing.T) {
+	w, mem, pt, sim := setup()
+	va := arch.Addr(0x7f0000001000)
+	tr := pt.Translate(va)
+	done, refs := w.Walk(0, va, &tr, arch.DataClass, 0, 0)
+	if refs != 5 {
+		t.Errorf("cold 4KB walk refs = %d, want 5", refs)
+	}
+	// 2 (PSC latency) + 5*50.
+	if done != 2+5*50 {
+		t.Errorf("done = %d, want %d", done, 2+5*50)
+	}
+	if mem.n != 5 {
+		t.Errorf("memory refs = %d", mem.n)
+	}
+	if sim.PageWalks[arch.DataClass] != 1 {
+		t.Error("walk not counted")
+	}
+}
+
+func TestPSCSkipsLevelsOnSecondWalk(t *testing.T) {
+	w, _, pt, sim := setup()
+	va1 := arch.Addr(0x7f0000001000)
+	va2 := va1 + arch.PageSize4K // same level-2 path, different leaf PTE
+	tr1 := pt.Translate(va1)
+	tr2 := pt.Translate(va2)
+	w.Walk(0, va1, &tr1, arch.DataClass, 0, 0)
+	_, refs := w.Walk(1000, va2, &tr2, arch.DataClass, 0, 0)
+	if refs != 1 {
+		t.Errorf("PSCL2-covered walk refs = %d, want 1 (leaf only)", refs)
+	}
+	if sim.PSCHits[3] != 1 { // index 3 = PSCL2
+		t.Errorf("PSCL2 hits = %d, want 1", sim.PSCHits[3])
+	}
+}
+
+func TestPSCPartialCoverage(t *testing.T) {
+	w, _, pt, _ := setup()
+	va1 := arch.Addr(0x000000001000)
+	tr1 := pt.Translate(va1)
+	w.Walk(0, va1, &tr1, arch.DataClass, 0, 0)
+	// Different level-2 index but same level-3 path: PSCL3 should cover
+	// levels 5..3, leaving the L2 and L1 reads.
+	va2 := va1 + (1 << vm.LevelShift(2)) // next 1GB/512 region? level-2 stride = 2MB
+	tr2 := pt.Translate(va2)
+	_, refs := w.Walk(1000, va2, &tr2, arch.DataClass, 0, 0)
+	if refs != 2 {
+		t.Errorf("PSCL3-covered walk refs = %d, want 2", refs)
+	}
+}
+
+func TestHugePageWalkShorter(t *testing.T) {
+	cfg := config.Default()
+	mem := &countingMem{latency: 50}
+	w := New(&cfg, mem, nil)
+	pt := vm.NewPageTable(vm.NewPhysAlloc(8<<30), 1.0, 1)
+	va := arch.Addr(0x40000000)
+	tr := pt.Translate(va)
+	_, refs := w.Walk(0, va, &tr, arch.DataClass, 0, 0)
+	if refs != 4 {
+		t.Errorf("cold 2MB walk refs = %d, want 4", refs)
+	}
+	// Second walk in a neighbouring 2MB page: PSCL3 covers 5..3 → 1 ref.
+	va2 := va + arch.PageSize2M
+	tr2 := pt.Translate(va2)
+	_, refs2 := w.Walk(1000, va2, &tr2, arch.DataClass, 0, 0)
+	if refs2 != 1 {
+		t.Errorf("covered 2MB walk refs = %d, want 1", refs2)
+	}
+}
+
+func TestWalkClassPropagates(t *testing.T) {
+	w, mem, pt, _ := setup()
+	va := arch.Addr(0x400000)
+	tr := pt.Translate(va)
+	w.Walk(0, va, &tr, arch.InstrClass, 0, 0)
+	for _, cl := range mem.classes {
+		if cl != arch.InstrClass {
+			t.Fatal("instruction walk issued data-class PTE access")
+		}
+	}
+}
+
+func TestWalkerOccupancy(t *testing.T) {
+	cfg := config.Default()
+	cfg.PageWalkers = 1
+	mem := &countingMem{latency: 50}
+	w := New(&cfg, mem, nil)
+	pt := vm.NewPageTable(vm.NewPhysAlloc(8<<30), 0, 1)
+	// Distinct level-5 indices so neither walk benefits from the PSCs.
+	va1, va2 := arch.Addr(0x1000), arch.Addr(1)<<50
+	tr1 := pt.Translate(va1)
+	tr2 := pt.Translate(va2)
+	d1, _ := w.Walk(0, va1, &tr1, arch.DataClass, 0, 0)
+	d2, _ := w.Walk(0, va2, &tr2, arch.DataClass, 0, 0)
+	if d2 <= d1 {
+		t.Errorf("single walker should serialise: d1=%d d2=%d", d1, d2)
+	}
+	// With 4 walkers the second concurrent walk starts immediately.
+	cfg.PageWalkers = 4
+	w4 := New(&cfg, &countingMem{latency: 50}, nil)
+	e1, _ := w4.Walk(0, va1, &tr1, arch.DataClass, 0, 0)
+	e2, _ := w4.Walk(0, va2, &tr2, arch.DataClass, 0, 0)
+	if e2 != e1 {
+		t.Errorf("parallel walkers: e1=%d e2=%d, want equal", e1, e2)
+	}
+}
+
+func TestThreadSeparationInPSC(t *testing.T) {
+	w, _, pt, _ := setup()
+	va := arch.Addr(0x1000)
+	tr := pt.Translate(va)
+	w.Walk(0, va, &tr, arch.DataClass, 0, 0)
+	// Same VA from the other thread: PSC entries are thread-tagged, so
+	// the walk is cold again.
+	_, refs := w.Walk(1000, va, &tr, arch.DataClass, 0, 1)
+	if refs != 5 {
+		t.Errorf("other-thread walk refs = %d, want 5", refs)
+	}
+}
+
+func TestWalkLatencyAccounting(t *testing.T) {
+	w, _, pt, sim := setup()
+	va := arch.Addr(0x1000)
+	tr := pt.Translate(va)
+	done, _ := w.Walk(100, va, &tr, arch.InstrClass, 0, 0)
+	if sim.WalkLatSum[arch.InstrClass] != done-100 {
+		t.Errorf("walk latency sum = %d, want %d", sim.WalkLatSum[arch.InstrClass], done-100)
+	}
+}
+
+func TestPSCInsertEvictsLRU(t *testing.T) {
+	// PSCL5 has 2 fully-associative entries; a third region evicts the
+	// least recently used one.
+	cfg := config.Default()
+	mem := &countingMem{latency: 10}
+	w := New(&cfg, mem, nil)
+	pt := vm.NewPageTable(vm.NewPhysAlloc(8<<30), 0, 1)
+
+	vas := []arch.Addr{0, 1 << 50, 2 << 50} // distinct level-5 indices
+	for _, va := range vas {
+		tr := pt.Translate(va)
+		w.Walk(0, va, &tr, arch.DataClass, 0, 0)
+	}
+	// Regions 1<<50 and 2<<50 should still be covered at PSCL5 level; the
+	// first (LRU) should have been evicted from the 2-entry PSCL5. The
+	// observable effect: re-walking va=0 does all 5 levels again unless a
+	// deeper PSC (PSCL2, 32 entries) still covers it — which it does, so
+	// instead check the sampler directly.
+	if !w.pscs[0].lookup(vas[1], 0) || !w.pscs[0].lookup(vas[2], 0) {
+		t.Error("recent regions missing from PSCL5")
+	}
+	if w.pscs[0].lookup(vas[0], 0) {
+		t.Error("LRU region should have been evicted from 2-entry PSCL5")
+	}
+}
+
+func TestWalkerStatsNilSafe(t *testing.T) {
+	cfg := config.Default()
+	w := New(&cfg, &countingMem{latency: 5}, nil) // nil stats
+	pt := vm.NewPageTable(vm.NewPhysAlloc(8<<30), 0, 1)
+	tr := pt.Translate(0x1000)
+	if done, refs := w.Walk(0, 0x1000, &tr, arch.InstrClass, 0, 0); done == 0 || refs == 0 {
+		t.Error("walk with nil stats failed")
+	}
+}

@@ -1,0 +1,190 @@
+// Package replacement implements cache replacement policies: the
+// translation-oblivious baselines (LRU, Random, SRRIP, BRRIP, DRRIP, SHiP,
+// Mockingjay) and the translation-aware prior work the paper compares
+// against (PTP, T-DRRIP). The paper's own xPTP policy lives in
+// internal/core next to iTP, but implements the same Policy interface.
+package replacement
+
+import (
+	"fmt"
+
+	"itpsim/internal/arch"
+)
+
+// Line is the per-block metadata a policy can observe and annotate. The
+// cache owns []Line per set; policies mutate only the policy-state fields.
+type Line struct {
+	Valid bool
+	Dirty bool
+	Tag   uint64 // block number
+	PC    uint64 // program counter of the filling access
+	Kind  arch.Kind
+	// IsPTE marks blocks holding page-table payload; IsDataPTE
+	// additionally marks PTEs serving data translations (the xPTP Type
+	// bit, propagated through the MSHR as in Figure 7).
+	IsPTE     bool
+	IsDataPTE bool
+	// STLBMiss marks demand blocks whose triggering access missed the
+	// STLB (T-DRRIP's eviction bias).
+	STLBMiss bool
+	Thread   uint8
+	// Prefetched marks blocks filled by a prefetcher and not yet
+	// demanded.
+	Prefetched bool
+
+	// Policy-owned state.
+	Stack  uint8  // exact recency-stack position, 0 = MRU
+	RRPV   uint8  // re-reference prediction value (RRIP family)
+	Sig    uint16 // PC signature (SHiP, Mockingjay)
+	Reused bool   // block was hit since fill (SHiP training)
+	ETA    uint64 // estimated time of next access (Mockingjay)
+}
+
+// Policy decides victims and maintains per-line replacement state.
+// Victim returns the way to evict (the caller guarantees the set is full
+// of valid lines when no invalid way exists). OnFill runs after the new
+// line's identity fields are written; OnHit runs on every demand hit;
+// OnEvict runs just before a valid line is overwritten, so policies can
+// train on dead blocks.
+type Policy interface {
+	Name() string
+	Victim(setIdx int, set []Line, in *arch.Access) int
+	OnFill(setIdx int, set []Line, way int, in *arch.Access)
+	OnHit(setIdx int, set []Line, way int, in *arch.Access)
+	OnEvict(setIdx int, set []Line, way int)
+}
+
+// InitSet establishes the stack-position permutation invariant for a
+// freshly created set: positions are a permutation of 0..len(set)-1.
+func InitSet(set []Line) {
+	for i := range set {
+		set[i].Stack = uint8(i)
+	}
+}
+
+// InvalidWay returns the index of an invalid line with the deepest stack
+// position, or -1 if the set is full.
+func InvalidWay(set []Line) int {
+	best, bestStack := -1, -1
+	for i := range set {
+		if !set[i].Valid && int(set[i].Stack) > bestStack {
+			best, bestStack = i, int(set[i].Stack)
+		}
+	}
+	return best
+}
+
+// StackLRUVictim returns the way at the bottom of the recency stack,
+// preferring invalid ways.
+func StackLRUVictim(set []Line) int {
+	if w := InvalidWay(set); w >= 0 {
+		return w
+	}
+	victim, deepest := 0, -1
+	for i := range set {
+		if int(set[i].Stack) > deepest {
+			victim, deepest = i, int(set[i].Stack)
+		}
+	}
+	return victim
+}
+
+// MoveToStackPos repositions way to stack position pos, shifting the
+// intervening lines by one; the permutation invariant is preserved.
+func MoveToStackPos(set []Line, way, pos int) {
+	old := int(set[way].Stack)
+	switch {
+	case pos < old:
+		for i := range set {
+			if p := int(set[i].Stack); p >= pos && p < old {
+				set[i].Stack++
+			}
+		}
+	case pos > old:
+		for i := range set {
+			if p := int(set[i].Stack); p > old && p <= pos {
+				set[i].Stack--
+			}
+		}
+	default:
+		return
+	}
+	set[way].Stack = uint8(pos)
+}
+
+// StackPosOf returns the way currently at stack position pos, or -1.
+func StackPosOf(set []Line, pos int) int {
+	for i := range set {
+		if int(set[i].Stack) == pos {
+			return i
+		}
+	}
+	return -1
+}
+
+// CheckStackInvariant reports whether the set's stack positions form a
+// permutation of 0..len(set)-1 (test helper).
+func CheckStackInvariant(set []Line) bool {
+	seen := make([]bool, len(set))
+	for i := range set {
+		p := int(set[i].Stack)
+		if p < 0 || p >= len(set) || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+// FromName constructs a named baseline policy sized for a cache with the
+// given geometry. The paper's own policies ("xptp", "itp") are built in
+// internal/core and are not available here.
+func FromName(name string, sets, ways int, seed uint64) (Policy, error) {
+	switch name {
+	case "lru":
+		return NewLRU(), nil
+	case "random":
+		return NewRandom(seed), nil
+	case "srrip":
+		return NewSRRIP(), nil
+	case "brrip":
+		return NewBRRIP(seed), nil
+	case "drrip":
+		return NewDRRIP(sets, seed), nil
+	case "ship":
+		return NewSHiP(sets, seed), nil
+	case "mockingjay":
+		return NewMockingjay(sets, ways), nil
+	case "hawkeye":
+		return NewHawkeye(sets, ways), nil
+	case "ptp":
+		return NewPTP(), nil
+	case "tdrrip":
+		return NewTDRRIP(sets, seed), nil
+	case "tship":
+		return NewTSHiP(sets, seed), nil
+	case "emissary":
+		return NewEmissary(), nil
+	default:
+		return nil, fmt.Errorf("replacement: unknown policy %q", name)
+	}
+}
+
+// xorshift64 is the tiny deterministic PRNG used by stochastic policies.
+type xorshift64 uint64
+
+func newXorshift(seed uint64) xorshift64 {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return xorshift64(seed)
+}
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}

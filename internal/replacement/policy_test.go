@@ -1,0 +1,532 @@
+package replacement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"itpsim/internal/arch"
+)
+
+func newSet(ways int) []Line {
+	set := make([]Line, ways)
+	InitSet(set)
+	return set
+}
+
+func fillAll(set []Line) {
+	for i := range set {
+		set[i].Valid = true
+		set[i].Tag = uint64(1000 + i)
+	}
+}
+
+func TestInitSetInvariant(t *testing.T) {
+	for _, ways := range []int{1, 2, 8, 12, 16} {
+		set := newSet(ways)
+		if !CheckStackInvariant(set) {
+			t.Errorf("ways=%d: InitSet broke invariant", ways)
+		}
+	}
+}
+
+func TestInvalidWayPrefersDeepest(t *testing.T) {
+	set := newSet(4)
+	// all invalid: deepest stack position is way with Stack==3.
+	w := InvalidWay(set)
+	if set[w].Stack != 3 {
+		t.Errorf("InvalidWay picked stack pos %d, want 3", set[w].Stack)
+	}
+	fillAll(set)
+	if InvalidWay(set) != -1 {
+		t.Error("full set should report no invalid way")
+	}
+	set[1].Valid = false
+	if got := InvalidWay(set); got != 1 {
+		t.Errorf("InvalidWay = %d, want 1", got)
+	}
+}
+
+func TestMoveToStackPos(t *testing.T) {
+	set := newSet(4) // stacks: 0,1,2,3
+	MoveToStackPos(set, 3, 0)
+	if set[3].Stack != 0 {
+		t.Errorf("way3 stack = %d, want 0", set[3].Stack)
+	}
+	// others shifted down: way0→1, way1→2, way2→3
+	if set[0].Stack != 1 || set[1].Stack != 2 || set[2].Stack != 3 {
+		t.Errorf("shift wrong: %v %v %v", set[0].Stack, set[1].Stack, set[2].Stack)
+	}
+	if !CheckStackInvariant(set) {
+		t.Error("invariant broken")
+	}
+	// Move down: way3 (pos 0) to pos 2.
+	MoveToStackPos(set, 3, 2)
+	if set[3].Stack != 2 || !CheckStackInvariant(set) {
+		t.Errorf("downward move wrong: %+v", set)
+	}
+	// No-op move.
+	MoveToStackPos(set, 3, 2)
+	if set[3].Stack != 2 || !CheckStackInvariant(set) {
+		t.Error("no-op move broke invariant")
+	}
+}
+
+// Property: arbitrary sequences of moves preserve the permutation invariant.
+func TestMoveInvariantProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		set := newSet(12)
+		for _, op := range ops {
+			way := int(op) % 12
+			pos := int(op>>4) % 12
+			MoveToStackPos(set, way, pos)
+			if !CheckStackInvariant(set) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackPosOf(t *testing.T) {
+	set := newSet(4)
+	for pos := 0; pos < 4; pos++ {
+		w := StackPosOf(set, pos)
+		if w < 0 || int(set[w].Stack) != pos {
+			t.Errorf("StackPosOf(%d) wrong", pos)
+		}
+	}
+	if StackPosOf(set, 99) != -1 {
+		t.Error("missing pos should return -1")
+	}
+}
+
+func TestLRUBehaviour(t *testing.T) {
+	p := NewLRU()
+	set := newSet(4)
+	fillAll(set)
+	acc := &arch.Access{Kind: arch.Load}
+	// Touch ways in order 0,1,2,3: way 0 becomes LRU.
+	for w := 0; w < 4; w++ {
+		p.OnHit(0, set, w, acc)
+	}
+	if v := p.Victim(0, set, acc); v != 0 {
+		t.Errorf("LRU victim = %d, want 0", v)
+	}
+	p.OnFill(0, set, 0, acc)
+	if set[0].Stack != 0 {
+		t.Error("fill should move to MRU")
+	}
+	if v := p.Victim(0, set, acc); v != 1 {
+		t.Errorf("next victim = %d, want 1", v)
+	}
+}
+
+func TestLRUPrefersInvalid(t *testing.T) {
+	p := NewLRU()
+	set := newSet(4)
+	fillAll(set)
+	set[2].Valid = false
+	if v := p.Victim(0, set, nil); v != 2 {
+		t.Errorf("victim = %d, want invalid way 2", v)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	set := newSet(8)
+	fillAll(set)
+	a := NewRandom(42)
+	b := NewRandom(42)
+	for i := 0; i < 50; i++ {
+		if a.Victim(0, set, nil) != b.Victim(0, set, nil) {
+			t.Fatal("same seed should give same victims")
+		}
+	}
+}
+
+func TestRandomCoversWays(t *testing.T) {
+	set := newSet(4)
+	fillAll(set)
+	p := NewRandom(7)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[p.Victim(0, set, nil)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("random victims covered %d/4 ways", len(seen))
+	}
+}
+
+func TestSRRIP(t *testing.T) {
+	p := NewSRRIP()
+	set := newSet(4)
+	fillAll(set)
+	acc := &arch.Access{Kind: arch.Load, PC: 100}
+	for w := range set {
+		p.OnFill(0, set, w, acc)
+	}
+	// All at long (2); victim search ages everyone to 3 and picks way 0.
+	if v := p.Victim(0, set, acc); v != 0 {
+		t.Errorf("victim = %d, want 0", v)
+	}
+	if set[1].RRPV != rrpvMax {
+		t.Errorf("aging did not raise RRPVs: %d", set[1].RRPV)
+	}
+	p.OnHit(0, set, 2, acc)
+	if set[2].RRPV != rrpvNear {
+		t.Error("hit should reset RRPV")
+	}
+	// Now way 2 is protected; victim must not be 2.
+	if v := p.Victim(0, set, acc); v == 2 {
+		t.Error("protected way evicted")
+	}
+}
+
+func TestBRRIPMostlyDistant(t *testing.T) {
+	p := NewBRRIP(1)
+	set := newSet(4)
+	fillAll(set)
+	acc := &arch.Access{}
+	distant := 0
+	for i := 0; i < 1000; i++ {
+		p.OnFill(0, set, 0, acc)
+		if set[0].RRPV == rrpvMax {
+			distant++
+		}
+	}
+	if distant < 900 {
+		t.Errorf("BRRIP distant insertions = %d/1000, want >900", distant)
+	}
+	if distant == 1000 {
+		t.Error("BRRIP should occasionally insert long")
+	}
+}
+
+func TestDuelLeadersDisjoint(t *testing.T) {
+	d := newDuel(1024)
+	for s := range d.leaderA {
+		if d.leaderB[s] {
+			t.Fatalf("set %d leads both policies", s)
+		}
+	}
+	if len(d.leaderA) == 0 || len(d.leaderB) == 0 {
+		t.Fatal("no leader sets")
+	}
+}
+
+func TestDuelPSELMovement(t *testing.T) {
+	d := newDuel(1024)
+	var aLeader, bLeader int
+	for s := range d.leaderA {
+		aLeader = s
+		break
+	}
+	for s := range d.leaderB {
+		bLeader = s
+		break
+	}
+	start := d.psel
+	d.onMiss(aLeader)
+	if d.psel != start+1 {
+		t.Error("miss in A-leader should increment PSEL")
+	}
+	d.onMiss(bLeader)
+	if d.psel != start {
+		t.Error("miss in B-leader should decrement PSEL")
+	}
+	// Saturate low: followers should use A.
+	for i := 0; i < 2000; i++ {
+		d.onMiss(bLeader)
+	}
+	if d.psel != 0 {
+		t.Errorf("PSEL should saturate at 0, got %d", d.psel)
+	}
+	follower := 3 // not a leader with stride 16
+	if d.leaderA[follower] || d.leaderB[follower] {
+		t.Skip("set 3 unexpectedly a leader")
+	}
+	if !d.useA(follower) {
+		t.Error("PSEL=0 followers should use policy A")
+	}
+}
+
+func TestDRRIPFollowsWinner(t *testing.T) {
+	p := NewDRRIP(64, 3)
+	set := newSet(4)
+	fillAll(set)
+	acc := &arch.Access{}
+	// Force PSEL to favour SRRIP (policy A) by missing in B leaders.
+	var bLeader int
+	for s := range p.duel.leaderB {
+		bLeader = s
+		break
+	}
+	for i := 0; i < 2000; i++ {
+		p.duel.onMiss(bLeader)
+	}
+	follower := -1
+	for s := 0; s < 64; s++ {
+		if !p.duel.leaderA[s] && !p.duel.leaderB[s] {
+			follower = s
+			break
+		}
+	}
+	if follower == -1 {
+		t.Fatal("no follower set found")
+	}
+	p.OnFill(follower, set, 0, acc)
+	if set[0].RRPV != rrpvLong {
+		t.Errorf("follower should use SRRIP insertion, got RRPV %d", set[0].RRPV)
+	}
+}
+
+func TestTDRRIPProtectsPTEs(t *testing.T) {
+	p := NewTDRRIP(64, 9)
+	set := newSet(4)
+	fillAll(set)
+	acc := &arch.Access{Kind: arch.PTW}
+	set[1].IsPTE = true
+	p.OnFill(0, set, 1, acc)
+	if set[1].RRPV != rrpvNear {
+		t.Errorf("PTE insertion RRPV = %d, want %d", set[1].RRPV, rrpvNear)
+	}
+	// Demand block that missed the STLB inserts distant.
+	set[2].STLBMiss = true
+	set[2].IsPTE = false
+	p.OnFill(0, set, 2, &arch.Access{Kind: arch.Load})
+	if set[2].RRPV != rrpvMax {
+		t.Errorf("STLB-miss insertion RRPV = %d, want %d", set[2].RRPV, rrpvMax)
+	}
+	// Victim prefers the STLB-miss block over the PTE block.
+	if v := p.Victim(0, set, &arch.Access{}); v != 2 {
+		t.Errorf("victim = %d, want the STLB-miss block 2", v)
+	}
+}
+
+func TestTDRRIPAllPTEsStillEvicts(t *testing.T) {
+	p := NewTDRRIP(64, 9)
+	set := newSet(4)
+	fillAll(set)
+	for i := range set {
+		set[i].IsPTE = true
+		set[i].RRPV = rrpvNear
+	}
+	v := p.Victim(0, set, &arch.Access{})
+	if v < 0 || v >= 4 {
+		t.Fatalf("victim out of range: %d", v)
+	}
+}
+
+func TestSHiPLearnsDeadSignatures(t *testing.T) {
+	p := NewSHiP(64, 5)
+	set := newSet(4)
+	fillAll(set)
+	deadPC := uint64(0xdead00)
+	acc := &arch.Access{Kind: arch.Load, PC: deadPC}
+	// Repeatedly fill and evict without reuse: counter should reach 0.
+	for i := 0; i < 10; i++ {
+		p.OnFill(0, set, 0, acc)
+		p.OnEvict(0, set, 0)
+	}
+	p.OnFill(0, set, 0, acc)
+	if set[0].RRPV != rrpvMax {
+		t.Errorf("dead signature should insert distant, got RRPV %d", set[0].RRPV)
+	}
+	// Now train reuse: hit after fill.
+	for i := 0; i < 10; i++ {
+		p.OnFill(0, set, 0, acc)
+		p.OnHit(0, set, 0, acc)
+	}
+	p.OnFill(0, set, 0, acc)
+	if set[0].RRPV != rrpvLong {
+		t.Errorf("reused signature should insert long, got RRPV %d", set[0].RRPV)
+	}
+}
+
+func TestSHiPHitTrainsOnce(t *testing.T) {
+	p := NewSHiP(64, 5)
+	set := newSet(2)
+	fillAll(set)
+	acc := &arch.Access{PC: 0x1234}
+	p.OnFill(0, set, 0, acc)
+	sig := set[0].Sig
+	before := p.shct[sig]
+	p.OnHit(0, set, 0, acc)
+	p.OnHit(0, set, 0, acc)
+	p.OnHit(0, set, 0, acc)
+	if p.shct[sig] != before+1 {
+		t.Errorf("multiple hits should train once: %d -> %d", before, p.shct[sig])
+	}
+}
+
+func TestMockingjayVictimIsFarthest(t *testing.T) {
+	p := NewMockingjay(64, 4)
+	set := newSet(4)
+	fillAll(set)
+	p.clock = 100
+	set[0].ETA = 110
+	set[1].ETA = 500 // farthest future
+	set[2].ETA = 120
+	set[3].ETA = 105
+	if v := p.Victim(0, set, nil); v != 1 {
+		t.Errorf("victim = %d, want 1 (farthest ETA)", v)
+	}
+}
+
+func TestMockingjayPrefersOverdue(t *testing.T) {
+	p := NewMockingjay(64, 4)
+	set := newSet(4)
+	fillAll(set)
+	p.clock = 10000
+	// Way 2 is long overdue (predicted reuse never happened).
+	set[0].ETA = 10010
+	set[1].ETA = 10020
+	set[2].ETA = 100
+	set[3].ETA = 10005
+	if v := p.Victim(0, set, nil); v != 2 {
+		t.Errorf("victim = %d, want overdue way 2", v)
+	}
+}
+
+func TestMockingjayTrains(t *testing.T) {
+	p := NewMockingjay(64, 4)
+	sig := p.signature(0xabc)
+	start := p.pred[sig]
+	// Train toward a small reuse distance.
+	for i := 0; i < 50; i++ {
+		p.train(sig, 10)
+	}
+	if p.pred[sig] >= start {
+		t.Errorf("training down failed: %d -> %d", start, p.pred[sig])
+	}
+	for i := 0; i < 200; i++ {
+		p.train(sig, -1) // scans
+	}
+	if p.pred[sig] < p.maxRD/2 {
+		t.Errorf("scan training should push prediction up: %d", p.pred[sig])
+	}
+}
+
+func TestMockingjaySamplerBounded(t *testing.T) {
+	p := NewMockingjay(64, 4)
+	for i := 0; i < 3*mjSamplerCap; i++ {
+		p.clock++
+		p.sample(0, uint64(i)*64, uint64(i))
+	}
+	if len(p.sampler) > mjSamplerCap {
+		t.Errorf("sampler grew to %d (> %d)", len(p.sampler), mjSamplerCap)
+	}
+}
+
+func TestMockingjaySamplerObservesReuse(t *testing.T) {
+	p := NewMockingjay(64, 4)
+	pc := uint64(0x4040)
+	sig := p.signature(pc)
+	p.clock = 1
+	p.sample(0, 0x1000, pc)
+	p.clock = 21
+	p.sample(0, 0x1000, pc) // reuse distance 20
+	want := p.maxRD/2 + (20-p.maxRD/2)/4
+	if p.pred[sig] != want {
+		t.Errorf("pred = %d, want %d", p.pred[sig], want)
+	}
+}
+
+func TestPTPProtectsAllPTEs(t *testing.T) {
+	p := NewPTP()
+	set := newSet(4)
+	fillAll(set)
+	set[0].IsPTE = true
+	set[0].IsDataPTE = true
+	set[3].IsPTE = true
+	// Recency order: touch 1 then 2 → way at stack bottom among non-PTE.
+	acc := &arch.Access{}
+	p.OnHit(0, set, 2, acc)
+	p.OnHit(0, set, 1, acc)
+	v := p.Victim(0, set, acc)
+	if set[v].IsPTE {
+		t.Errorf("PTP evicted a PTE block (way %d)", v)
+	}
+	if v != 2 {
+		t.Errorf("victim = %d, want LRU non-PTE way 2", v)
+	}
+}
+
+func TestPTPAllPTEFallsBackToLRU(t *testing.T) {
+	p := NewPTP()
+	set := newSet(4)
+	fillAll(set)
+	for i := range set {
+		set[i].IsPTE = true
+	}
+	v := p.Victim(0, set, nil)
+	if int(set[v].Stack) != 3 {
+		t.Errorf("all-PTE set should evict LRU, got stack %d", set[v].Stack)
+	}
+}
+
+func TestFromName(t *testing.T) {
+	names := []string{"lru", "random", "srrip", "brrip", "drrip", "ship", "mockingjay", "ptp", "tdrrip"}
+	for _, n := range names {
+		p, err := FromName(n, 64, 8, 1)
+		if err != nil {
+			t.Errorf("FromName(%q): %v", n, err)
+			continue
+		}
+		if p.Name() != n {
+			t.Errorf("FromName(%q).Name() = %q", n, p.Name())
+		}
+	}
+	if _, err := FromName("belady", 64, 8, 1); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+// Property: every policy returns a victim inside the set and never panics
+// under random operation sequences.
+func TestPoliciesRobustUnderRandomOps(t *testing.T) {
+	names := []string{"lru", "random", "srrip", "brrip", "drrip", "ship", "mockingjay", "hawkeye", "ptp", "tdrrip", "tship", "emissary"}
+	for _, n := range names {
+		p, err := FromName(n, 64, 8, 123)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		sets := make([][]Line, 64)
+		for i := range sets {
+			sets[i] = newSet(8)
+		}
+		for op := 0; op < 5000; op++ {
+			si := rng.Intn(64)
+			set := sets[si]
+			acc := &arch.Access{
+				PC:       uint64(rng.Intn(1000)) * 4,
+				Kind:     arch.Kind(rng.Intn(4)),
+				Class:    arch.Class(rng.Intn(2)),
+				IsPTE:    rng.Intn(4) == 0,
+				STLBMiss: rng.Intn(4) == 0,
+			}
+			v := p.Victim(si, set, acc)
+			if v < 0 || v >= 8 {
+				t.Fatalf("%s: victim %d out of range", n, v)
+			}
+			p.OnEvict(si, set, v)
+			set[v].Valid = true
+			set[v].Tag = uint64(rng.Intn(500))
+			set[v].IsPTE = acc.IsPTE
+			set[v].IsDataPTE = acc.IsPTE && acc.Class == arch.DataClass
+			set[v].STLBMiss = acc.STLBMiss
+			set[v].Reused = false
+			p.OnFill(si, set, v, acc)
+			if rng.Intn(2) == 0 {
+				p.OnHit(si, set, rng.Intn(8), acc)
+			}
+			if !CheckStackInvariant(set) {
+				t.Fatalf("%s: stack invariant broken at op %d", n, op)
+			}
+		}
+	}
+}

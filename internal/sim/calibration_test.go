@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"itpsim/internal/config"
+	"itpsim/internal/stats"
+	"itpsim/internal/workload"
+)
+
+// TestServerWorkloadsMatchPaperBands pins the synthetic server workloads
+// to the paper's published characteristics (Section 5.2 and Figures 1-2):
+//   - total STLB MPKI >= 1 (the paper's workload selection criterion),
+//   - instruction STLB MPKI in a band around the paper's 0.1-0.9,
+//   - a nontrivial share of cycles on instruction address translation.
+//
+// If a generator retune breaks these, every experiment's premise is off,
+// so fail loudly here rather than in a figure.
+func TestServerWorkloadsMatchPaperBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration check needs a few hundred thousand instructions")
+	}
+	cat := workload.NewCatalog(120, 20)
+	for _, name := range []string{"srv_000", "srv_003", "srv_007", "srv_013"} {
+		spec, err := cat.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := NewMachine(config.Default())
+		res := m.RunWarmup([]workload.Stream{spec.NewStream()}, 200_000, 600_000)
+		s := res.Stats
+		ti := s.TotalInstructions()
+
+		if mpki := s.STLB.MPKI(ti); mpki < 1.0 {
+			t.Errorf("%s: STLB MPKI %.2f < 1.0 (paper's selection floor)", name, mpki)
+		}
+		// At this short scale cold-start misses inflate iMPKI ~3x over
+		// the steady-state 0.3-0.9 band seen at the default 1M+3M scale,
+		// so the guard band here is wider.
+		if impki := s.STLB.BucketMPKI(stats.BInstr, ti); impki < 0.05 || impki > 3.5 {
+			t.Errorf("%s: instruction STLB MPKI %.2f outside [0.05, 3.5]", name, impki)
+		}
+		if itc := s.InstrTransFraction(); itc < 0.01 || itc > 0.35 {
+			t.Errorf("%s: instruction-translation share %.1f%% outside [1%%, 35%%]", name, 100*itc)
+		}
+		if ipc := res.IPC; ipc < 0.05 || ipc > 2.0 {
+			t.Errorf("%s: baseline IPC %.3f implausible", name, ipc)
+		}
+	}
+}
+
+// TestSpecWorkloadsMatchPaperBands pins the SPEC-like suite: tiny
+// instruction-side pressure.
+func TestSpecWorkloadsMatchPaperBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration check needs a few hundred thousand instructions")
+	}
+	cat := workload.NewCatalog(120, 20)
+	for _, name := range []string{"spec_000", "spec_003"} {
+		spec, err := cat.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := NewMachine(config.Default())
+		res := m.RunWarmup([]workload.Stream{spec.NewStream()}, 100_000, 300_000)
+		s := res.Stats
+		ti := s.TotalInstructions()
+		if impki := s.STLB.BucketMPKI(stats.BInstr, ti); impki > 0.05 {
+			t.Errorf("%s: instruction STLB MPKI %.3f should be negligible", name, impki)
+		}
+		if itc := s.InstrTransFraction(); itc > 0.02 {
+			t.Errorf("%s: instruction-translation share %.2f%% should be tiny", name, 100*itc)
+		}
+	}
+}

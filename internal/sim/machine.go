@@ -1,0 +1,458 @@
+// Package sim is the trace-driven machine model: a decoupled front-end
+// (FTQ + FDIP-style instruction prefetch) whose stalls — crucially,
+// instruction address translation misses — serialise into fetch, an
+// out-of-order back-end whose ROB window hides data-miss latency, the
+// two-level TLB hierarchy, the page-table walker, three cache levels, and
+// DRAM. It supports one or two hardware threads (Section 5.1's SMT
+// extension: fetch alternates threads every cycle and all structures are
+// shared).
+package sim
+
+import (
+	"fmt"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/branch"
+	"itpsim/internal/cache"
+	"itpsim/internal/config"
+	"itpsim/internal/core"
+	"itpsim/internal/dram"
+	"itpsim/internal/prefetch"
+	"itpsim/internal/ptw"
+	"itpsim/internal/replacement"
+	"itpsim/internal/stats"
+	"itpsim/internal/tlb"
+	"itpsim/internal/vm"
+	"itpsim/internal/workload"
+)
+
+// Machine is one simulated core plus its memory system.
+type Machine struct {
+	cfg   config.SystemConfig
+	Stats *stats.Sim
+
+	itlb, dtlb *tlb.TLB
+	stlb       tlb.Store
+	l1i, l1d   *cache.Cache
+	l2c, llc   *cache.Cache
+	mem        *dram.DRAM
+	walker     *ptw.Walker
+	pts        [2]*vm.PageTable
+
+	ctrl  *core.Controller
+	chirp *tlb.CHiRP
+
+	// stlbMSHRs track in-flight page walks so concurrent misses to the
+	// same page merge instead of walking twice; each entry carries the
+	// Type (class) bit of Figure 7.
+	stlbMSHRs []stlbMSHREntry
+
+	bpRNG uint64
+	// perceptron is non-nil when the config selects the real
+	// hashed-perceptron direction predictor.
+	perceptron *branch.Perceptron
+
+	// frontBound/backBound count dispatches limited by fetch vs by the
+	// ROB (debug attribution).
+	frontBound, backBound uint64
+}
+
+// BoundSplit reports the fraction of dispatches limited by the front end.
+func (m *Machine) BoundSplit() (front, back uint64) { return m.frontBound, m.backBound }
+
+// stlbMSHREntry is one in-flight STLB miss.
+type stlbMSHREntry struct {
+	vpn     uint64 // 4KB-granular VPN (2MB walks merge via their first 4KB probe)
+	thread  uint8
+	class   arch.Class
+	valid   bool
+	readyAt uint64
+	ppn     uint64
+	bits    uint8
+}
+
+// statsDRAM adapts the DRAM model to also count accesses into stats.Sim.
+type statsDRAM struct {
+	d   *dram.DRAM
+	sim *stats.Sim
+}
+
+func (s *statsDRAM) Access(now uint64, acc *arch.Access) uint64 {
+	s.sim.DRAMAccesses++
+	return s.d.Access(now, acc)
+}
+
+// NewMachine builds a machine from the configuration, resolving the
+// policy names of Table 2. Recognised STLB policies: lru, itp, chirp,
+// problru, random. L2C policies: the replacement baselines plus xptp
+// (adaptive per Section 4.3.1; set XPTP.T1 <= 0 for always-on). LLC
+// policies: the replacement baselines.
+func NewMachine(cfg config.SystemConfig) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, Stats: stats.NewSim(), bpRNG: 0xabcdef12345}
+
+	// Physical memory: sized generously for the workload footprints.
+	alloc := vm.NewPhysAlloc(64 << 30)
+	m.pts[0] = vm.NewPageTable(alloc, cfg.HugePageFraction, 1)
+	m.pts[1] = vm.NewPageTable(alloc, cfg.HugePageFraction, 2)
+
+	// Memory hierarchy, bottom up.
+	m.mem = dram.New(cfg.DRAM)
+	memLevel := &statsDRAM{d: m.mem, sim: m.Stats}
+
+	llcPol, err := replacement.FromName(cfg.LLCPolicy, cfg.LLC.Sets, cfg.LLC.Ways, 0xcafe)
+	if err != nil {
+		return nil, fmt.Errorf("sim: LLC policy: %w", err)
+	}
+	m.llc = cache.New("LLC", cfg.LLC, llcPol, memLevel, &m.Stats.LLC)
+	m.llc.SetWriteback(m.mem.Writeback)
+
+	var l2cPol replacement.Policy
+	switch cfg.L2CPolicy {
+	case "xptp":
+		m.ctrl = core.NewController(cfg.XPTP)
+		l2cPol = core.NewAdaptiveXPTP(cfg.XPTP, m.ctrl.Enabled)
+	case "xptp-static":
+		l2cPol = core.NewXPTP(cfg.XPTP)
+	case "xptp-emissary":
+		// The Section 7 future-work combination: xPTP's data-PTE
+		// protection plus Emissary's critical-code protection.
+		l2cPol = replacement.NewXPTPEmissary(cfg.XPTP.K)
+	default:
+		l2cPol, err = replacement.FromName(cfg.L2CPolicy, cfg.L2C.Sets, cfg.L2C.Ways, 0xbeef)
+		if err != nil {
+			return nil, fmt.Errorf("sim: L2C policy: %w", err)
+		}
+	}
+	m.l2c = cache.New("L2C", cfg.L2C, l2cPol, m.llc, &m.Stats.L2C)
+	m.l2c.SetWriteback(m.mem.Writeback)
+	if cfg.L2CStride {
+		m.l2c.SetPrefetcher(prefetch.NewStride(1024, 2))
+	}
+
+	m.l1i = cache.New("L1I", cfg.L1I, replacement.NewLRU(), m.l2c, &m.Stats.L1I)
+	m.l1d = cache.New("L1D", cfg.L1D, replacement.NewLRU(), m.l2c, &m.Stats.L1D)
+	m.l1d.SetWriteback(m.mem.Writeback)
+	if cfg.L1DNextLine {
+		m.l1d.SetPrefetcher(prefetch.NewNextLine())
+	}
+
+	// TLB hierarchy.
+	m.itlb = tlb.New("ITLB", cfg.ITLB.Sets, cfg.ITLB.Ways, tlb.NewLRU())
+	m.dtlb = tlb.New("DTLB", cfg.DTLB.Sets, cfg.DTLB.Ways, tlb.NewLRU())
+
+	newSTLBPolicy := func() (tlb.Policy, error) {
+		switch cfg.STLBPolicy {
+		case "lru":
+			return tlb.NewLRU(), nil
+		case "itp":
+			return core.NewITP(cfg.ITP), nil
+		case "chirp":
+			c := tlb.NewCHiRP(cfg.STLB.Ways)
+			m.chirp = c
+			return c, nil
+		case "problru":
+			return core.NewProbLRU(cfg.ProbKeepInstr, 0x5117), nil
+		default:
+			return nil, fmt.Errorf("sim: unknown STLB policy %q", cfg.STLBPolicy)
+		}
+	}
+	if cfg.SplitSTLB {
+		sets := cfg.STLB.Sets / 2
+		pi, err := newSTLBPolicy()
+		if err != nil {
+			return nil, err
+		}
+		pd, err := newSTLBPolicy()
+		if err != nil {
+			return nil, err
+		}
+		m.stlb = tlb.NewSplit(sets, cfg.STLB.Ways, pi, pd)
+	} else {
+		p, err := newSTLBPolicy()
+		if err != nil {
+			return nil, err
+		}
+		m.stlb = tlb.New("STLB", cfg.STLB.Sets, cfg.STLB.Ways, p)
+	}
+
+	// Page walks enter the hierarchy at the L2C.
+	m.walker = ptw.New(&cfg, m.l2c, m.Stats)
+	m.stlbMSHRs = make([]stlbMSHREntry, cfg.STLB.MSHRs)
+
+	if cfg.BranchPredictor == "perceptron" {
+		m.perceptron = branch.NewPerceptron()
+	}
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() config.SystemConfig { return m.cfg }
+
+// Controller returns the adaptive xPTP controller, if any.
+func (m *Machine) Controller() *core.Controller { return m.ctrl }
+
+// predictBranch returns true when the branch predictor is correct,
+// approximating the hashed-perceptron predictor with its measured
+// accuracy.
+func (m *Machine) predictBranch() bool {
+	m.bpRNG ^= m.bpRNG << 13
+	m.bpRNG ^= m.bpRNG >> 7
+	m.bpRNG ^= m.bpRNG << 17
+	return float64(m.bpRNG>>11)/float64(1<<53) < m.cfg.BranchPredAccuracy
+}
+
+// translate resolves va through the TLB hierarchy. It returns the
+// physical address, the cycle at which the translation is available, and
+// whether the STLB missed (the T-DRRIP demand bit). First-level TLB hits
+// are free (VIPT lookup overlaps the cache index).
+func (m *Machine) translate(now uint64, va arch.Addr, class arch.Class, pc arch.Addr, thread uint8) (arch.Addr, uint64, bool) {
+	first := m.dtlb
+	firstStats := &m.Stats.DTLB
+	bucket := stats.BData
+	if class == arch.InstrClass {
+		first = m.itlb
+		firstStats = &m.Stats.ITLB
+		bucket = stats.BInstr
+	}
+
+	if ppn, bits, hit := first.Lookup(va, pc, class, thread); hit {
+		firstStats.Record(bucket, true)
+		return physFrom(ppn, bits, va), now, false
+	}
+	firstStats.Record(bucket, false)
+
+	// STLB access.
+	stlbDone := now + m.cfg.STLB.Latency
+	if ppn, bits, hit := m.stlb.Lookup(va, pc, class, thread); hit {
+		m.Stats.STLB.Record(bucket, true)
+		first.Insert(va, ppn, bits, class, pc, thread)
+		return physFrom(ppn, bits, va), stlbDone, false
+	}
+	m.Stats.STLB.Record(bucket, false)
+	if m.ctrl != nil {
+		m.ctrl.OnSTLBMiss()
+	}
+
+	// STLB MSHR: a walk already in flight for this page absorbs the
+	// miss — the requester waits for that walk instead of starting a new
+	// one (Figure 7's MSHR with its Type bit).
+	vpn := uint64(va >> arch.PageBits4K)
+	for i := range m.stlbMSHRs {
+		e := &m.stlbMSHRs[i]
+		if e.valid && e.vpn == vpn && e.thread == thread && e.readyAt > stlbDone {
+			m.Stats.STLB.RecordMissLatency(e.readyAt - now)
+			return physFrom(e.ppn, e.bits, va), e.readyAt, true
+		}
+	}
+	// Allocate an MSHR entry; if all are busy the walk waits for the
+	// earliest to complete.
+	var entry *stlbMSHREntry
+	start := stlbDone
+	earliest := ^uint64(0)
+	for i := range m.stlbMSHRs {
+		e := &m.stlbMSHRs[i]
+		if !e.valid || e.readyAt <= stlbDone {
+			entry = e
+			earliest = stlbDone
+			break
+		}
+		if e.readyAt < earliest {
+			entry, earliest = e, e.readyAt
+		}
+	}
+	if earliest > start {
+		start = earliest
+	}
+
+	// Page walk.
+	tr := m.pts[thread&1].Translate(va)
+	done, _ := m.walker.Walk(start, va, &tr, class, pc, thread)
+	*entry = stlbMSHREntry{
+		vpn: vpn, thread: thread, class: class, valid: true,
+		readyAt: done, ppn: tr.PPN, bits: tr.PageBits,
+	}
+	m.Stats.STLB.RecordMissLatency(done - now)
+	m.stlb.Insert(va, tr.PPN, tr.PageBits, class, pc, thread)
+	first.Insert(va, tr.PPN, tr.PageBits, class, pc, thread)
+
+	// Future-work extension (Section 7): sequential instruction
+	// translation prefetch. The walk for the next code page proceeds off
+	// the critical path; iTP's insertion policy prioritises the
+	// prefetched entry like any other instruction translation.
+	if m.cfg.STLBPrefetch && class == arch.InstrClass && tr.PageBits == arch.PageBits4K {
+		nextVA := (va + arch.PageSize4K) &^ (arch.PageSize4K - 1)
+		if _, _, hit := m.stlb.Lookup(nextVA, pc, class, thread); !hit {
+			ptr := m.pts[thread&1].Translate(nextVA)
+			m.walker.Walk(done, nextVA, &ptr, class, pc, thread)
+			m.stlb.Insert(nextVA, ptr.PPN, ptr.PageBits, class, pc, thread)
+			m.Stats.STLBPrefetches++
+		}
+	}
+	return tr.PhysAddr(va), done, true
+}
+
+func physFrom(ppn uint64, bits uint8, va arch.Addr) arch.Addr {
+	mask := (arch.Addr(1) << bits) - 1
+	return arch.Addr(ppn)<<bits | (va & mask)
+}
+
+// debugIfetchPenalty inflates instruction-translation latency (test hook).
+var debugIfetchPenalty uint64 = 1
+
+// ifetch performs the translation + L1I access for one instruction block
+// and charges instruction-translation stall cycles (the Figure 1 metric).
+func (m *Machine) ifetch(now uint64, pc arch.Addr, thread uint8) uint64 {
+	pa, tdone, stlbMiss := m.translate(now, pc, arch.InstrClass, pc, thread)
+	if debugIfetchPenalty > 1 {
+		tdone = now + (tdone-now)*debugIfetchPenalty
+	}
+	m.Stats.InstrTransCycles += tdone - now
+	acc := arch.Access{Addr: pa, PC: pc, Kind: arch.IFetch, STLBMiss: stlbMiss, Thread: thread}
+	return m.l1i.Access(tdone, &acc)
+}
+
+// dataAccess performs translation + L1D access for a load or store.
+func (m *Machine) dataAccess(now uint64, va, pc arch.Addr, isStore bool, thread uint8) uint64 {
+	pa, tdone, stlbMiss := m.translate(now, va, arch.DataClass, pc, thread)
+	m.Stats.DataTransCycles += tdone - now
+	kind := arch.Load
+	if isStore {
+		kind = arch.Store
+	}
+	acc := arch.Access{Addr: pa, PC: pc, Kind: kind, STLBMiss: stlbMiss, Thread: thread}
+	return m.l1d.Access(tdone, &acc)
+}
+
+// fdipPrefetch probes the ITLB for the block's translation and, when it
+// is present, prefetches the block into the L1I — the decoupled
+// front-end runs ahead of fetch but cannot run past an unknown
+// translation, which is exactly why instruction STLB misses hurt.
+func (m *Machine) fdipPrefetch(now uint64, pc arch.Addr, thread uint8) bool {
+	ppn, bits, _, ok := m.itlb.Peek(pc, thread)
+	if !ok {
+		return false
+	}
+	pa := physFrom(ppn, bits, pc)
+	if m.l1i.Contains(pa, thread) {
+		return true
+	}
+	acc := arch.Access{Addr: pa, PC: pc, Kind: arch.Prefetch, Thread: thread}
+	m.l1i.Access(now, &acc)
+	return true
+}
+
+// RunResult summarises one simulation.
+type RunResult struct {
+	Stats *stats.Sim
+	IPC   float64
+}
+
+// Run simulates instrPerThread instructions on each stream (1 or 2
+// streams) and returns the collected statistics.
+func (m *Machine) Run(streams []workload.Stream, instrPerThread uint64) RunResult {
+	return m.RunWarmup(streams, 0, instrPerThread)
+}
+
+// RunWarmup simulates warmup instructions per thread to warm the caches,
+// TLBs, and page tables, resets the statistics, then measures over the
+// next measure instructions per thread — the paper's 50M-warmup /
+// 100M-measure methodology at configurable scale.
+func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) RunResult {
+	if len(streams) == 0 || len(streams) > 2 {
+		panic("sim: Run needs 1 or 2 streams")
+	}
+	threads := make([]*threadCtx, len(streams))
+	// In SMT mode fetch alternates threads every cycle, halving each
+	// thread's effective fetch bandwidth.
+	fetchStep := uint64(1)
+	if len(streams) == 2 {
+		fetchStep = 2
+	}
+	for i := range streams {
+		threads[i] = newThreadCtx(uint8(i), streams[i], &m.cfg, fetchStep, warmup+measure)
+	}
+
+	run := func(until uint64) {
+		for {
+			// Advance the thread that is earliest in simulated time to
+			// keep shared-structure state approximately time-ordered.
+			var t *threadCtx
+			for _, th := range threads {
+				if th.done || th.retired >= until {
+					continue
+				}
+				if t == nil || th.fetchCycle < t.fetchCycle {
+					t = th
+				}
+			}
+			if t == nil {
+				return
+			}
+			m.step(t)
+		}
+	}
+
+	var baseline uint64
+	if warmup > 0 {
+		run(warmup)
+		// Reset the measurement state, keeping all microarchitectural
+		// state warm.
+		for _, l := range m.Stats.Levels() {
+			l.Reset()
+		}
+		m.Stats.InstrTransCycles = 0
+		m.Stats.DataTransCycles = 0
+		m.Stats.PageWalks = [2]uint64{}
+		m.Stats.WalkLatSum = [2]uint64{}
+		m.Stats.PSCHits = [4]uint64{}
+		m.Stats.DRAMAccesses = 0
+		for _, th := range threads {
+			th.retiredAtReset = th.retired
+			if th.lastRetire > baseline {
+				baseline = th.lastRetire
+			}
+		}
+	}
+	run(warmup + measure)
+
+	var last uint64
+	for _, th := range threads {
+		m.Stats.Instructions[th.id] = th.retired - th.retiredAtReset
+		if th.lastRetire > last {
+			last = th.lastRetire
+		}
+	}
+	m.Stats.Cycles = last - baseline
+	if m.ctrl != nil {
+		m.Stats.XPTPEnabledWindows = m.ctrl.EnabledWindows
+		m.Stats.XPTPDisabledWindows = m.ctrl.DisabledWindows
+	}
+	return RunResult{Stats: m.Stats, IPC: m.Stats.IPC()}
+}
+
+// SetDebugIfetchPenalty scales instruction-translation latency (test hook).
+func SetDebugIfetchPenalty(x uint64) { debugIfetchPenalty = x }
+
+// STLBPolicyName reports the STLB replacement policy in use (debug aid).
+func (m *Machine) STLBPolicyName() string {
+	if t, ok := m.stlb.(*tlb.TLB); ok {
+		return t.Policy().Name()
+	}
+	return "split"
+}
+
+// STLBOccupancy reports valid STLB entries by class (debug aid).
+func (m *Machine) STLBOccupancy() (instr, data int) {
+	if t, ok := m.stlb.(*tlb.TLB); ok {
+		return t.Occupancy()
+	}
+	return 0, 0
+}
+
+// L2COccupancy reports L2C blocks: total valid, PTE, data-PTE (debug aid).
+func (m *Machine) L2COccupancy() (blocks, pte, dataPTE int) {
+	return m.l2c.Occupancy()
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"itpsim/internal/arch"
+	"itpsim/internal/config"
+	"itpsim/internal/workload"
+)
+
+// lookahead buffers upcoming instructions so the decoupled front-end can
+// prefetch future fetch blocks (FDIP) before fetch reaches them.
+type lookahead struct {
+	s     workload.Stream
+	buf   []workload.Instr
+	head  int
+	size  int
+	ended bool
+}
+
+func newLookahead(s workload.Stream, capacity int) *lookahead {
+	return &lookahead{s: s, buf: make([]workload.Instr, capacity)}
+}
+
+// fill tops the buffer up to capacity.
+func (l *lookahead) fill() {
+	for !l.ended && l.size < len(l.buf) {
+		idx := (l.head + l.size) % len(l.buf)
+		if !l.s.Next(&l.buf[idx]) {
+			l.ended = true
+			return
+		}
+		l.size++
+	}
+}
+
+// peek returns the i-th upcoming instruction (0 = next), or nil.
+func (l *lookahead) peek(i int) *workload.Instr {
+	if i >= l.size {
+		l.fill()
+	}
+	if i >= l.size {
+		return nil
+	}
+	return &l.buf[(l.head+i)%len(l.buf)]
+}
+
+// pop consumes the next instruction.
+func (l *lookahead) pop(in *workload.Instr) bool {
+	if l.size == 0 {
+		l.fill()
+		if l.size == 0 {
+			return false
+		}
+	}
+	*in = l.buf[l.head]
+	l.head = (l.head + 1) % len(l.buf)
+	l.size--
+	return true
+}
+
+// threadCtx is the per-hardware-thread pipeline state.
+type threadCtx struct {
+	id uint8
+	la *lookahead
+
+	budget         uint64
+	retired        uint64
+	retiredAtReset uint64
+	done           bool
+
+	// Front end.
+	fetchCycle uint64 // when the fetch unit may fetch the next instruction
+	fetchStep  uint64 // cycles consumed per fetch group (2 under SMT)
+	fetchSub   int    // instructions fetched in the current group
+	fetchBlock arch.Addr
+	fetchReady uint64 // when the current block's fetch completes
+	fdipCursor int    // lookahead index the FDIP scan has reached
+	fdipBlock  arch.Addr
+
+	// Back end.
+	robRing []uint64 // retire times of the last ROBSize instructions
+	robPos  int
+	ftqRing []uint64 // dispatch times for FTQ backpressure
+	ftqPos  int
+
+	lastRetire   uint64
+	retireSub    int
+	lastLoadDone uint64
+}
+
+func newThreadCtx(id uint8, s workload.Stream, cfg *config.SystemConfig, fetchStep uint64, budget uint64) *threadCtx {
+	// The FTQ bounds how far fetch may run ahead of dispatch; beyond it
+	// the decoupled front-end can no longer hide instruction-side misses.
+	ftqCap := cfg.FTQDepth
+	return &threadCtx{
+		id:        id,
+		la:        newLookahead(s, cfg.FDIPDistance*16+64),
+		budget:    budget,
+		fetchStep: fetchStep,
+		robRing:   make([]uint64, cfg.ROBSize),
+		ftqRing:   make([]uint64, ftqCap),
+	}
+}
+
+// pipelineFillLatency is the constant decode/rename depth between fetch
+// and dispatch.
+const pipelineFillLatency = 8
+
+// step simulates one instruction of thread t end to end.
+func (m *Machine) step(t *threadCtx) {
+	var in workload.Instr
+	if t.retired >= t.budget || !t.la.pop(&in) {
+		t.done = true
+		return
+	}
+	if t.fdipCursor > 0 {
+		t.fdipCursor--
+	}
+
+	// ---- Front end ----
+	// FTQ backpressure: fetch may run at most ftqCap instructions ahead
+	// of dispatch.
+	if bp := t.ftqRing[t.ftqPos]; t.fetchCycle < bp {
+		t.fetchCycle = bp
+	}
+
+	blk := arch.BlockAddr(in.PC)
+	if blk != t.fetchBlock {
+		t.fetchBlock = blk
+		done := m.ifetch(t.fetchCycle, in.PC, t.id)
+		if done > t.fetchReady {
+			t.fetchReady = done
+		}
+		m.fdipScan(t)
+	}
+	fetchDone := t.fetchCycle
+	if t.fetchReady > fetchDone {
+		fetchDone = t.fetchReady
+		t.fetchCycle = t.fetchReady // in-order front end
+	}
+	// Fetch bandwidth.
+	t.fetchSub++
+	if t.fetchSub >= m.cfg.FetchWidth {
+		t.fetchSub = 0
+		t.fetchCycle += t.fetchStep
+	}
+
+	// ---- Dispatch (ROB occupancy) ----
+	dispatch := fetchDone + pipelineFillLatency
+	if oldest := t.robRing[t.robPos]; dispatch < oldest {
+		dispatch = oldest // ROB full: wait for the oldest to retire
+		m.backBound++
+	} else {
+		m.frontBound++
+	}
+	t.ftqRing[t.ftqPos] = dispatch
+	t.ftqPos = (t.ftqPos + 1) % len(t.ftqRing)
+
+	// ---- Execute / memory ----
+	execDone := dispatch + m.cfg.ExecLatency
+	if in.LoadAddr != 0 {
+		start := dispatch
+		if in.DepLoad && t.lastLoadDone > start {
+			// Pointer chase: the address comes from the previous load.
+			start = t.lastLoadDone
+		}
+		loadDone := m.dataAccess(start, in.LoadAddr, in.PC, false, t.id)
+		t.lastLoadDone = loadDone
+		if loadDone > execDone {
+			execDone = loadDone
+		}
+	}
+	if in.StoreAddr != 0 {
+		// Stores retire from the store buffer; the access updates cache
+		// state but does not extend the critical path.
+		m.dataAccess(dispatch, in.StoreAddr, in.PC, true, t.id)
+	}
+
+	if in.IsBranch {
+		if m.chirp != nil && in.Taken {
+			m.chirp.Observe(t.id, uint64(in.PC))
+		}
+		predictedRight := false
+		if m.perceptron != nil {
+			predictedRight = m.perceptron.Predict(in.PC) == in.Taken
+			m.perceptron.Update(in.PC, in.Taken)
+		} else {
+			predictedRight = m.predictBranch()
+		}
+		if !predictedRight {
+			// Mispredict: the front end redirects after resolution.
+			redirect := execDone + m.cfg.MispredictPen
+			if t.fetchCycle < redirect {
+				t.fetchCycle = redirect
+			}
+			t.fetchBlock = 0 // refetch the target block
+		}
+	}
+
+	// ---- Retire (in order, bounded width) ----
+	rt := execDone
+	if rt < t.lastRetire {
+		rt = t.lastRetire
+	}
+	if rt == t.lastRetire {
+		t.retireSub++
+		if t.retireSub >= m.cfg.RetireWidth {
+			rt++
+			t.retireSub = 0
+		}
+	} else {
+		t.retireSub = 1
+	}
+	t.lastRetire = rt
+
+	t.robRing[t.robPos] = rt
+	t.robPos = (t.robPos + 1) % len(t.robRing)
+
+	t.retired++
+	if m.ctrl != nil {
+		m.ctrl.OnRetire(1)
+	}
+	if t.retired >= t.budget {
+		t.done = true
+	}
+}
+
+// fdipScan advances the FDIP cursor through the lookahead buffer,
+// prefetching upcoming fetch blocks whose translations the ITLB already
+// holds. The scan stops at the configured distance or at the first block
+// whose translation is unknown — the front end cannot prefetch past a
+// pending instruction translation.
+func (m *Machine) fdipScan(t *threadCtx) {
+	if !m.cfg.L1IFDIP {
+		return
+	}
+	blocks := 0
+	for i := t.fdipCursor; blocks < m.cfg.FDIPDistance; i++ {
+		in := t.la.peek(i)
+		if in == nil {
+			break
+		}
+		blk := arch.BlockAddr(in.PC)
+		if blk == t.fdipBlock {
+			t.fdipCursor = i + 1
+			continue
+		}
+		if !m.fdipPrefetch(t.fetchCycle, in.PC, t.id) {
+			break // unknown translation: FDIP stalls here
+		}
+		t.fdipBlock = blk
+		t.fdipCursor = i + 1
+		blocks++
+	}
+}

@@ -1,0 +1,293 @@
+// Package stats collects the measurements the paper reports: per-level
+// hit/miss counts broken down by access category (the dMPKI / iMPKI /
+// dtMPKI / itMPKI split of Figure 4), average miss latencies (Figure 9),
+// instruction-address-translation cycle accounting (Figure 1), and IPC.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"itpsim/internal/arch"
+)
+
+// Bucket is the access category used for MPKI breakdowns.
+type Bucket uint8
+
+const (
+	// BData — demand loads and stores (dMPKI).
+	BData Bucket = iota
+	// BInstr — instruction fetches (iMPKI).
+	BInstr
+	// BDataTrans — page-walk references serving data translations (dtMPKI).
+	BDataTrans
+	// BInstrTrans — page-walk references serving instruction translations (itMPKI).
+	BInstrTrans
+	// BPrefetch — prefetcher traffic (not part of demand MPKI).
+	BPrefetch
+	// BWriteback — writeback traffic.
+	BWriteback
+
+	// NumBuckets is the number of access categories.
+	NumBuckets
+)
+
+// String implements fmt.Stringer.
+func (b Bucket) String() string {
+	switch b {
+	case BData:
+		return "data"
+	case BInstr:
+		return "instr"
+	case BDataTrans:
+		return "data-trans"
+	case BInstrTrans:
+		return "instr-trans"
+	case BPrefetch:
+		return "prefetch"
+	case BWriteback:
+		return "writeback"
+	default:
+		return fmt.Sprintf("bucket(%d)", uint8(b))
+	}
+}
+
+// BucketFor maps an access to its MPKI category.
+func BucketFor(a *arch.Access) Bucket {
+	switch a.Kind {
+	case arch.IFetch:
+		return BInstr
+	case arch.Load, arch.Store:
+		return BData
+	case arch.PTW:
+		if a.Class == arch.InstrClass {
+			return BInstrTrans
+		}
+		return BDataTrans
+	case arch.Prefetch:
+		return BPrefetch
+	default:
+		return BWriteback
+	}
+}
+
+// Level accumulates hit/miss/latency statistics for one cache or TLB level.
+// The zero value is ready to use.
+type Level struct {
+	Name   string
+	Hits   [NumBuckets]uint64
+	Misses [NumBuckets]uint64
+	// MissLatSum/MissLatCnt accumulate the latency of demand misses so
+	// the average miss latency of Figure 9 can be reported.
+	MissLatSum uint64
+	MissLatCnt uint64
+}
+
+// Record notes one access outcome in bucket b.
+func (l *Level) Record(b Bucket, hit bool) {
+	if hit {
+		l.Hits[b]++
+	} else {
+		l.Misses[b]++
+	}
+}
+
+// RecordMissLatency accumulates the observed latency of one demand miss.
+func (l *Level) RecordMissLatency(cycles uint64) {
+	l.MissLatSum += cycles
+	l.MissLatCnt++
+}
+
+// TotalHits returns hits summed over demand buckets.
+func (l *Level) TotalHits() uint64 {
+	return l.Hits[BData] + l.Hits[BInstr] + l.Hits[BDataTrans] + l.Hits[BInstrTrans]
+}
+
+// TotalMisses returns misses summed over demand buckets.
+func (l *Level) TotalMisses() uint64 {
+	return l.Misses[BData] + l.Misses[BInstr] + l.Misses[BDataTrans] + l.Misses[BInstrTrans]
+}
+
+// MPKI returns demand misses per kilo-instruction.
+func (l *Level) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(l.TotalMisses()) / float64(instructions) * 1000
+}
+
+// BucketMPKI returns the demand MPKI of a single category.
+func (l *Level) BucketMPKI(b Bucket, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(l.Misses[b]) / float64(instructions) * 1000
+}
+
+// AvgMissLatency returns the mean demand-miss latency in cycles.
+func (l *Level) AvgMissLatency() float64 {
+	if l.MissLatCnt == 0 {
+		return 0
+	}
+	return float64(l.MissLatSum) / float64(l.MissLatCnt)
+}
+
+// HitRate returns demand hits / demand accesses.
+func (l *Level) HitRate() float64 {
+	total := l.TotalHits() + l.TotalMisses()
+	if total == 0 {
+		return 0
+	}
+	return float64(l.TotalHits()) / float64(total)
+}
+
+// Reset zeroes the level's counters, keeping the name.
+func (l *Level) Reset() {
+	name := l.Name
+	*l = Level{Name: name}
+}
+
+// Sim aggregates everything one simulation run produces.
+type Sim struct {
+	// Cycles is the total simulated cycles.
+	Cycles uint64
+	// Instructions retired, per hardware thread.
+	Instructions [2]uint64
+
+	ITLB, DTLB, STLB Level
+	L1I, L1D, L2C    Level
+	LLC              Level
+
+	// InstrTransCycles accumulates front-end stall cycles attributable
+	// to instruction address translation (the Figure 1 metric).
+	InstrTransCycles uint64
+	// DataTransCycles accumulates data translation latency (informational).
+	DataTransCycles uint64
+
+	// PageWalks counts completed walks by translation class.
+	PageWalks [2]uint64
+	// WalkLatSum accumulates total walk latency by class.
+	WalkLatSum [2]uint64
+	// PSCHits counts page-structure-cache hits per level index (5..2 → 0..3).
+	PSCHits [4]uint64
+
+	// XPTPEnabledWindows / XPTPDisabledWindows count the adaptive
+	// controller's decisions (Section 4.3.1).
+	XPTPEnabledWindows  uint64
+	XPTPDisabledWindows uint64
+
+	// DRAMAccesses counts main-memory transfers.
+	DRAMAccesses uint64
+
+	// STLBPrefetches counts sequential instruction-translation
+	// prefetches issued by the Section 7 extension.
+	STLBPrefetches uint64
+}
+
+// NewSim returns a Sim with the level names populated.
+func NewSim() *Sim {
+	s := &Sim{}
+	s.ITLB.Name = "ITLB"
+	s.DTLB.Name = "DTLB"
+	s.STLB.Name = "STLB"
+	s.L1I.Name = "L1I"
+	s.L1D.Name = "L1D"
+	s.L2C.Name = "L2C"
+	s.LLC.Name = "LLC"
+	return s
+}
+
+// TotalInstructions returns instructions retired across all threads.
+func (s *Sim) TotalInstructions() uint64 {
+	return s.Instructions[0] + s.Instructions[1]
+}
+
+// IPC returns the combined instructions-per-cycle.
+func (s *Sim) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.TotalInstructions()) / float64(s.Cycles)
+}
+
+// InstrTransFraction returns the fraction of all cycles spent serving
+// instruction address translation (Figure 1's y-axis).
+func (s *Sim) InstrTransFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.InstrTransCycles) / float64(s.Cycles)
+}
+
+// AvgWalkLatency returns the mean page-walk latency for class c.
+func (s *Sim) AvgWalkLatency(c arch.Class) float64 {
+	if s.PageWalks[c] == 0 {
+		return 0
+	}
+	return float64(s.WalkLatSum[c]) / float64(s.PageWalks[c])
+}
+
+// Levels returns all levels in report order.
+func (s *Sim) Levels() []*Level {
+	return []*Level{&s.ITLB, &s.DTLB, &s.STLB, &s.L1I, &s.L1D, &s.L2C, &s.LLC}
+}
+
+// String renders a human-readable report.
+func (s *Sim) String() string {
+	var b strings.Builder
+	instr := s.TotalInstructions()
+	fmt.Fprintf(&b, "cycles=%d instructions=%d ipc=%.4f\n", s.Cycles, instr, s.IPC())
+	fmt.Fprintf(&b, "instr-translation-cycles=%d (%.2f%% of cycles)\n",
+		s.InstrTransCycles, 100*s.InstrTransFraction())
+	for _, l := range s.Levels() {
+		fmt.Fprintf(&b, "%-5s mpki=%8.3f  [d=%.3f i=%.3f dt=%.3f it=%.3f]  avg-miss-lat=%.1f  hit-rate=%.3f\n",
+			l.Name, l.MPKI(instr),
+			l.BucketMPKI(BData, instr), l.BucketMPKI(BInstr, instr),
+			l.BucketMPKI(BDataTrans, instr), l.BucketMPKI(BInstrTrans, instr),
+			l.AvgMissLatency(), l.HitRate())
+	}
+	fmt.Fprintf(&b, "walks: instr=%d (avg %.1f cyc) data=%d (avg %.1f cyc)\n",
+		s.PageWalks[arch.InstrClass], s.AvgWalkLatency(arch.InstrClass),
+		s.PageWalks[arch.DataClass], s.AvgWalkLatency(arch.DataClass))
+	fmt.Fprintf(&b, "dram-accesses=%d\n", s.DRAMAccesses)
+	return b.String()
+}
+
+// Geomean returns the geometric mean of xs (must all be > 0); it returns 0
+// for an empty slice. It is the aggregation the paper uses for speedups.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Percentiles returns the p-quantiles (0..1) of xs using nearest-rank.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	if len(xs) == 0 {
+		return make([]float64, len(ps))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		idx := int(p * float64(len(sorted)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out[i] = sorted[idx]
+	}
+	return out
+}

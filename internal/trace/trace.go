@@ -1,0 +1,209 @@
+// Package trace defines a compact binary on-disk format for instruction
+// traces (the moral equivalent of ChampSim's .champsimtrace.xz files,
+// using gzip from the standard library) plus a reader that implements
+// workload.Stream, so recorded traces and synthetic generators are
+// interchangeable inputs to the simulator.
+//
+// Format: the magic header "ITPT\x01", then one record per instruction:
+//
+//	flags  byte    bit0 IsBranch, bit1 Taken, bit2 has-load,
+//	                bit3 has-store, bit4 DepLoad
+//	pc     uvarint delta-encoded against the previous PC (zigzag)
+//	load   uvarint present iff bit2 (absolute address)
+//	store  uvarint present iff bit3 (absolute address)
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"itpsim/internal/workload"
+)
+
+var magic = [5]byte{'I', 'T', 'P', 'T', 1}
+
+// Flag bits.
+const (
+	flagBranch = 1 << iota
+	flagTaken
+	flagLoad
+	flagStore
+	flagDepLoad
+)
+
+// Writer streams instructions to a gzip-compressed trace.
+type Writer struct {
+	gz     *gzip.Writer
+	w      *bufio.Writer
+	lastPC uint64
+	n      uint64
+	buf    [binary.MaxVarintLen64]byte
+}
+
+// NewWriter wraps out; call Close to flush.
+func NewWriter(out io.Writer) (*Writer, error) {
+	gz := gzip.NewWriter(out)
+	w := &Writer{gz: gz, w: bufio.NewWriter(gz)}
+	if _, err := w.w.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	return w, nil
+}
+
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func (w *Writer) uvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+// Write appends one instruction.
+func (w *Writer) Write(in *workload.Instr) error {
+	var flags byte
+	if in.IsBranch {
+		flags |= flagBranch
+	}
+	if in.Taken {
+		flags |= flagTaken
+	}
+	if in.LoadAddr != 0 {
+		flags |= flagLoad
+	}
+	if in.StoreAddr != 0 {
+		flags |= flagStore
+	}
+	if in.DepLoad {
+		flags |= flagDepLoad
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return err
+	}
+	if err := w.uvarint(zigzag(int64(in.PC) - int64(w.lastPC))); err != nil {
+		return err
+	}
+	w.lastPC = uint64(in.PC)
+	if in.LoadAddr != 0 {
+		if err := w.uvarint(uint64(in.LoadAddr)); err != nil {
+			return err
+		}
+	}
+	if in.StoreAddr != 0 {
+		if err := w.uvarint(uint64(in.StoreAddr)); err != nil {
+			return err
+		}
+	}
+	w.n++
+	return nil
+}
+
+// Count returns instructions written so far.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Close flushes and closes the compressed stream (not the underlying
+// writer).
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.gz.Close()
+}
+
+// Record copies n instructions from s into w. It returns the number
+// actually copied (s may end sooner).
+func Record(w *Writer, s workload.Stream, n uint64) (uint64, error) {
+	var in workload.Instr
+	var i uint64
+	for ; i < n; i++ {
+		if !s.Next(&in) {
+			break
+		}
+		if err := w.Write(&in); err != nil {
+			return i, err
+		}
+	}
+	return i, nil
+}
+
+// Reader decodes a trace; it implements workload.Stream.
+type Reader struct {
+	gz     *gzip.Reader
+	r      *bufio.Reader
+	lastPC uint64
+	err    error
+}
+
+// NewReader validates the header and returns a streaming reader.
+func NewReader(in io.Reader) (*Reader, error) {
+	gz, err := gzip.NewReader(in)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open: %w", err)
+	}
+	r := &Reader{gz: gz, r: bufio.NewReader(gz)}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if hdr != magic {
+		return nil, errors.New("trace: bad magic (not an itpsim trace)")
+	}
+	return r, nil
+}
+
+// Next implements workload.Stream.
+func (r *Reader) Next(in *workload.Instr) bool {
+	if r.err != nil {
+		return false
+	}
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		r.err = err
+		return false
+	}
+	delta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("trace: truncated record: %w", err)
+		return false
+	}
+	*in = workload.Instr{}
+	r.lastPC = uint64(int64(r.lastPC) + unzigzag(delta))
+	in.PC = r.lastPC
+	in.IsBranch = flags&flagBranch != 0
+	in.Taken = flags&flagTaken != 0
+	in.DepLoad = flags&flagDepLoad != 0
+	if flags&flagLoad != 0 {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			r.err = fmt.Errorf("trace: truncated load: %w", err)
+			return false
+		}
+		in.LoadAddr = v
+	}
+	if flags&flagStore != 0 {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			r.err = fmt.Errorf("trace: truncated store: %w", err)
+			return false
+		}
+		in.StoreAddr = v
+	}
+	return true
+}
+
+// Err returns the terminal error, if Next stopped for a reason other than
+// a clean end of stream.
+func (r *Reader) Err() error {
+	if r.err == io.EOF {
+		return nil
+	}
+	return r.err
+}
+
+// Close releases the decompressor.
+func (r *Reader) Close() error { return r.gz.Close() }

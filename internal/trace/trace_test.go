@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+	"testing/quick"
+
+	"itpsim/internal/workload"
+)
+
+func roundTrip(t *testing.T, instrs []workload.Instr) []workload.Instr {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range instrs {
+		if err := w.Write(&instrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var out []workload.Instr
+	var in workload.Instr
+	for r.Next(&in) {
+		out = append(out, in)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	instrs := []workload.Instr{
+		{PC: 0x400000},
+		{PC: 0x400004, IsBranch: true, Taken: true},
+		{PC: 0x400100, LoadAddr: 0x10000000, DepLoad: true},
+		{PC: 0x400104, StoreAddr: 0x20000000},
+		{PC: 0x3ff000}, // backwards PC delta
+		{PC: 0x400000, LoadAddr: 0x1, StoreAddr: 0x2},
+	}
+	out := roundTrip(t, instrs)
+	if len(out) != len(instrs) {
+		t.Fatalf("got %d instrs, want %d", len(out), len(instrs))
+	}
+	for i := range instrs {
+		if out[i] != instrs[i] {
+			t.Errorf("instr %d: got %+v, want %+v", i, out[i], instrs[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32, flags []uint8) bool {
+		if len(flags) < len(raw) {
+			return true
+		}
+		var instrs []workload.Instr
+		for i, r := range raw {
+			in := workload.Instr{PC: uint64(r)}
+			if flags[i]&1 != 0 {
+				in.IsBranch = true
+				in.Taken = flags[i]&2 != 0
+			}
+			if flags[i]&4 != 0 {
+				in.LoadAddr = uint64(r) + 1
+				in.DepLoad = flags[i]&8 != 0
+			}
+			if flags[i]&16 != 0 {
+				in.StoreAddr = uint64(r) + 2
+			}
+			instrs = append(instrs, in)
+		}
+		out := roundTrip(t, instrs)
+		if len(out) != len(instrs) {
+			return false
+		}
+		for i := range instrs {
+			if out[i] != instrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordFromGenerator(t *testing.T) {
+	p := workload.SpecParams{
+		Seed: 9, CodePages: 4, LoopLen: 32, LoopIters: 10,
+		DataPages: 256, DataZipf: 1.0, LoadFrac: 0.3, StoreFrac: 0.1,
+		StreamFrac: 0.2, ReuseFrac: 0.2,
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	n, err := Record(w, workload.NewSpec(p), 5000)
+	if err != nil || n != 5000 {
+		t.Fatalf("Record = %d, %v", n, err)
+	}
+	if w.Count() != 5000 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	w.Close()
+
+	// Replaying the trace must equal replaying the generator.
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewSpec(p)
+	var a, b workload.Instr
+	for i := 0; i < 5000; i++ {
+		if !r.Next(&a) {
+			t.Fatalf("trace ended early at %d", i)
+		}
+		gen.Next(&b)
+		if a != b {
+			t.Fatalf("instr %d: trace %+v != generator %+v", i, a, b)
+		}
+	}
+	if r.Next(&a) {
+		t.Error("trace should contain exactly 5000 records")
+	}
+}
+
+func TestRecordShortStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	replay := &workload.Replay{Instrs: []workload.Instr{{PC: 1}, {PC: 2}}}
+	n, err := Record(w, replay, 100)
+	if err != nil || n != 2 {
+		t.Fatalf("Record = %d, %v; want 2", n, err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	var raw bytes.Buffer
+	w, _ := NewWriter(&raw)
+	w.Write(&workload.Instr{PC: 4})
+	w.Close()
+	data := raw.Bytes()
+	// Corrupt inside: rebuild a gzip stream with wrong magic.
+	var buf bytes.Buffer
+	gw, _ := NewWriter(&buf)
+	_ = gw
+	// Simpler: hand NewReader a gzip stream of garbage.
+	var garbage bytes.Buffer
+	gz := gzip.NewWriter(&garbage)
+	gz.Write([]byte("NOTATRACE"))
+	gz.Close()
+	if _, err := NewReader(&garbage); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// And non-gzip input fails immediately.
+	if _, err := NewReader(bytes.NewReader([]byte("plain text"))); err == nil {
+		t.Error("non-gzip input should fail")
+	}
+	_ = data
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		w.Write(&workload.Instr{PC: uint64(i * 4), LoadAddr: 0x1000})
+	}
+	w.Close()
+	// Recompress a truncated prefix of the decompressed payload.
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	var in workload.Instr
+	count := 0
+	for r.Next(&in) {
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("baseline decode failed: %d", count)
+	}
+	if r.Err() != nil {
+		t.Errorf("clean EOF should not be an error: %v", r.Err())
+	}
+}
+
+func TestCompressionIsEffective(t *testing.T) {
+	p := workload.SpecParams{
+		Seed: 9, CodePages: 4, LoopLen: 32, LoopIters: 10,
+		DataPages: 256, DataZipf: 1.0, LoadFrac: 0.3, StoreFrac: 0.1,
+		StreamFrac: 0.2, ReuseFrac: 0.2,
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	Record(w, workload.NewSpec(p), 20000)
+	w.Close()
+	perInstr := float64(buf.Len()) / 20000
+	if perInstr > 8 {
+		t.Errorf("trace uses %.1f bytes/instruction; expected tight encoding", perInstr)
+	}
+}

@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PressureBand classifies a workload's STLB pressure, mirroring the
+// paper's SMT pair construction (Section 5.2): Intense pairs combine two
+// high-MPKI workloads, Medium pairs one high + one medium, Relaxed pairs
+// one high + one low.
+type PressureBand int
+
+// Pressure bands.
+const (
+	LowPressure PressureBand = iota
+	MediumPressure
+	HighPressure
+)
+
+// String implements fmt.Stringer.
+func (b PressureBand) String() string {
+	switch b {
+	case LowPressure:
+		return "low"
+	case MediumPressure:
+		return "medium"
+	case HighPressure:
+		return "high"
+	}
+	return "unknown"
+}
+
+// Spec describes one named workload in the catalogue.
+type Spec struct {
+	Name string
+	// Kind is "server" or "spec".
+	Kind string
+	Band PressureBand
+	// exactly one of these is valid:
+	server ServerParams
+	spec   SpecParams
+}
+
+// NewStream instantiates the workload's instruction stream.
+func (s Spec) NewStream() Stream {
+	if s.Kind == "server" {
+		return NewServer(s.server)
+	}
+	return NewSpec(s.spec)
+}
+
+// ServerParams returns the generator parameters (server workloads only).
+func (s Spec) ServerParams() ServerParams { return s.server }
+
+// serverSpec derives the i-th server workload. The parameter grid sweeps
+// code footprint (4–32MB), call-target skew, and heap footprint so the
+// set spans the paper's instruction-STLB-MPKI range (≈0.1–0.9) while all
+// members keep total STLB MPKI ≥ 1.
+func serverSpec(i int) Spec {
+	warmCodePages := 512 + 256*(i%4)               // 2..5MB warm code band
+	coldCodePages := 2048 + 1024*(i%5)             // 8..24MB cold code tail
+	warmCodeFrac := 0.024 + 0.008*float64((i/3)%3) // burst-start probability
+	hotDataPages := 256 + 96*(i%4)                 // 1..2.3MB hot heap
+	warmPages := 8192 + 4096*((i/2)%3)             // 32..64MB capacity-pressure tier
+	warmFrac := 0.010 + 0.005*float64((i/4)%4)
+	coldFrac := 0.003
+	chaseRate := 0.0014 + 0.0005*float64((i/6)%3)
+	funcBytes := 256 + 128*(i%3)
+
+	band := MediumPressure
+	if chaseRate >= 0.0019 || warmFrac >= 0.02 {
+		band = HighPressure
+	}
+
+	return Spec{
+		Name: fmt.Sprintf("srv_%03d", i),
+		Kind: "server",
+		Band: band,
+		server: ServerParams{
+			Seed:          uint64(i)*0x51ed2701 + 17,
+			HeadCodePages: 48,
+			WarmCodePages: warmCodePages,
+			ColdCodePages: coldCodePages,
+			WarmCodeFrac:  warmCodeFrac,
+			ColdCodeFrac:  0.003,
+			CodeBurstLen:  12,
+			CodeZipf:      1.2,
+			FuncBytes:     funcBytes,
+			HotDataPages:  hotDataPages,
+			HotDataZipf:   1.15,
+			WarmDataPages: warmPages,
+			WarmFrac:      warmFrac,
+			// 128MB vast tail: its 4096 leaf-PTE blocks (half an L2C of
+			// page table) are re-referenced too rarely to survive LRU,
+			// but xPTP pins them while leaving room for demand blocks.
+			ColdDataPages: 32768,
+			ColdFrac:      coldFrac,
+			ColdZipf:      0,
+			LoadFrac:      0.25,
+			StoreFrac:     0.10,
+			DepFrac:       0.20,
+			ChaseRate:     chaseRate,
+			ChaseLen:      8,
+			ChaseSegPages: 0, // chases roam the whole vast tier
+			ChaseSegInstr: 0,
+			StreamFrac:    0.05,
+			StackFrac:     0.30,
+			ReuseFrac:     0.30,
+		},
+	}
+}
+
+// specSpec derives the i-th SPEC-like workload: tiny code footprints and
+// data-dominated behaviour.
+func specSpec(i int) Spec {
+	return Spec{
+		Name: fmt.Sprintf("spec_%03d", i),
+		Kind: "spec",
+		Band: LowPressure,
+		spec: SpecParams{
+			Seed:       uint64(i)*0xabcd1234 + 3,
+			CodePages:  4 + i%8, // 16-44KB of code: fits the ITLB
+			LoopLen:    64 + 32*(i%4),
+			LoopIters:  200 + 100*(i%5),
+			DataPages:  2048 + 1024*(i%3),
+			DataZipf:   1.3 + 0.1*float64(i%3),
+			LoadFrac:   0.28,
+			StoreFrac:  0.10,
+			DepFrac:    0.15,
+			StreamFrac: 0.25,
+			ReuseFrac:  0.35,
+		},
+	}
+}
+
+// Catalog is the full named-workload table.
+type Catalog struct {
+	specs map[string]Spec
+	names []string
+}
+
+// NewCatalog builds the default catalogue: nServer server workloads and
+// nSpec SPEC-like workloads (the paper uses 120 and the SPEC suites; the
+// harness defaults to smaller subsets for runtime).
+func NewCatalog(nServer, nSpec int) *Catalog {
+	c := &Catalog{specs: make(map[string]Spec)}
+	for i := 0; i < nServer; i++ {
+		s := serverSpec(i)
+		c.specs[s.Name] = s
+		c.names = append(c.names, s.Name)
+	}
+	for i := 0; i < nSpec; i++ {
+		s := specSpec(i)
+		c.specs[s.Name] = s
+		c.names = append(c.names, s.Name)
+	}
+	sort.Strings(c.names)
+	return c
+}
+
+// Names lists all workload names.
+func (c *Catalog) Names() []string { return append([]string(nil), c.names...) }
+
+// ServerNames lists the server workloads.
+func (c *Catalog) ServerNames() []string {
+	var out []string
+	for _, n := range c.names {
+		if c.specs[n].Kind == "server" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SpecNames lists the SPEC-like workloads.
+func (c *Catalog) SpecNames() []string {
+	var out []string
+	for _, n := range c.names {
+		if c.specs[n].Kind == "spec" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Get returns the named workload.
+func (c *Catalog) Get(name string) (Spec, error) {
+	s, ok := c.specs[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workload: unknown workload %q", name)
+	}
+	return s, nil
+}
+
+// Pair is one SMT co-location: two workloads run on the two hardware
+// threads.
+type Pair struct {
+	Name     string
+	A, B     string
+	Category string // "intense", "medium", "relaxed"
+}
+
+// SMTPairs builds n co-location pairs per category from the server
+// workloads, mirroring Section 5.2: Intense = high+high, Medium =
+// high+medium, Relaxed = high+low (the low partner comes from the
+// SPEC-like set, whose STLB pressure is minimal).
+func (c *Catalog) SMTPairs(nPerCategory int) []Pair {
+	var high, med []string
+	for _, n := range c.ServerNames() {
+		switch c.specs[n].Band {
+		case HighPressure:
+			high = append(high, n)
+		case MediumPressure:
+			med = append(med, n)
+		}
+	}
+	low := c.SpecNames()
+	if len(high) == 0 {
+		high = c.ServerNames()
+	}
+	if len(med) == 0 {
+		med = high
+	}
+	if len(low) == 0 {
+		low = med
+	}
+	if len(high) == 0 {
+		return nil
+	}
+	var pairs []Pair
+	pick := func(list []string, i int) string { return list[i%len(list)] }
+	for i := 0; i < nPerCategory; i++ {
+		if len(high) >= 2 {
+			pairs = append(pairs, Pair{
+				Name: fmt.Sprintf("intense_%02d", i), Category: "intense",
+				A: pick(high, 2*i), B: pick(high, 2*i+1),
+			})
+		}
+		pairs = append(pairs, Pair{
+			Name: fmt.Sprintf("medium_%02d", i), Category: "medium",
+			A: pick(high, i), B: pick(med, i+1),
+		})
+		pairs = append(pairs, Pair{
+			Name: fmt.Sprintf("relaxed_%02d", i), Category: "relaxed",
+			A: pick(high, i+2), B: pick(low, i),
+		})
+	}
+	return pairs
+}
