@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-figures results quick-results clean
+.PHONY: all build test vet check fuzz-smoke bench bench-figures results quick-results clean
 
 all: build vet test
 
@@ -15,6 +15,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full gate: vet + the whole suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Short fuzz pass over the trace decoder (CI smoke).
+fuzz-smoke:
+	$(GO) test -run FuzzReader -fuzz FuzzReader -fuzztime 10s ./internal/trace
 
 # Microbenchmarks + ablations + one pass of every figure bench.
 bench:

@@ -79,7 +79,11 @@ func benchIPC(b *testing.B, cfg config.SystemConfig, name string) float64 {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return m.RunWarmup([]workload.Stream{spec.NewStream()}, 100_000, 200_000).IPC
+	res, err := m.RunWarmup([]workload.Stream{spec.NewStream()}, 100_000, 200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.IPC
 }
 
 // Ablation benches sweep the design parameters DESIGN.md calls out.

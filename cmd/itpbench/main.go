@@ -66,6 +66,12 @@ func main() {
 		par     = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		csvDir  = flag.String("csv", "", "also write <dir>/<fig>.csv for each experiment")
 		svgDir  = flag.String("svg", "", "also render <dir>/<fig>.svg bar charts")
+
+		retries    = flag.Int("retries", 0, "retry attempts for transiently failed jobs")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
+		checkpoint = flag.String("checkpoint", "", "JSON-lines checkpoint journal; completed jobs are skipped on re-run")
+		wdInterval = flag.Duration("watchdog-interval", 5*time.Second, "forward-progress sampling period (0 disables the watchdog)")
+		wdSamples  = flag.Int("watchdog-samples", 6, "consecutive no-progress samples before a run is killed")
 	)
 	flag.Parse()
 
@@ -95,6 +101,14 @@ func main() {
 		o.Measure = *measure
 	}
 	o.Parallelism = *par
+	o.Retries = *retries
+	o.JobTimeout = *jobTimeout
+	o.Checkpoint = *checkpoint
+	o.WatchdogInterval = *wdInterval
+	o.WatchdogSamples = *wdSamples
+	o.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
 
 	ids := []string{*fig}
 	if *fig == "all" {

@@ -1,12 +1,16 @@
-// Command itpsim runs a single simulation: one workload (or an SMT pair),
-// one machine configuration, one policy combination, and prints the full
-// statistics report.
+// Command itpsim runs simulations: one workload (or an SMT pair) with the
+// full statistics report, or — given a comma-separated workload list — a
+// supervised multi-workload batch where each simulation runs under the
+// fault-tolerant harness (panic containment, retries, per-job deadline,
+// forward-progress watchdog, checkpoint/resume).
 //
 // Examples:
 //
 //	itpsim -workload srv_000
 //	itpsim -workload srv_000 -stlb itp -l2c xptp -n 2000000
 //	itpsim -workload srv_000 -smt srv_001 -stlb itp -l2c xptp
+//	itpsim -workload srv_000,srv_001,spec_000 -checkpoint run.ckpt
+//	itpsim -workload srv_000,srv_001 -retries 2 -job-timeout 10m
 //	itpsim -list
 //	itpsim -trace trace.itpt.gz -stlb itp
 package main
@@ -15,17 +19,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	"itpsim/internal/config"
+	"itpsim/internal/harness"
 	"itpsim/internal/sim"
+	"itpsim/internal/stats"
 	"itpsim/internal/trace"
 	"itpsim/internal/workload"
 )
 
 func main() {
 	var (
-		workloadName = flag.String("workload", "srv_000", "catalogue workload to run")
-		smtPartner   = flag.String("smt", "", "co-run this second workload on thread 1")
+		workloadName = flag.String("workload", "srv_000", "catalogue workload(s) to run, comma-separated")
+		smtPartner   = flag.String("smt", "", "co-run this second workload on thread 1 (single-workload mode only)")
 		tracePath    = flag.String("trace", "", "run a recorded trace file instead of a catalogue workload")
 		stlbPol      = flag.String("stlb", "lru", "STLB policy: lru, itp, chirp, problru")
 		l2cPol       = flag.String("l2c", "lru", "L2C policy: lru, xptp, xptp-static, ptp, tdrrip, drrip, srrip, ship, mockingjay")
@@ -40,6 +49,13 @@ func main() {
 		configJSON   = flag.String("config", "", "load full machine config from JSON file")
 		dumpConfig   = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
 		list         = flag.Bool("list", false, "list catalogue workloads and exit")
+
+		retries     = flag.Int("retries", 0, "retry attempts for transiently failed jobs")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
+		checkpoint  = flag.String("checkpoint", "", "JSON-lines checkpoint journal; completed jobs are skipped on re-run")
+		wdInterval  = flag.Duration("watchdog-interval", 5*time.Second, "forward-progress sampling period (0 disables the watchdog)")
+		wdSamples   = flag.Int("watchdog-samples", 6, "consecutive no-progress samples before a run is killed")
+		parallelism = flag.Int("parallel", 0, "concurrent simulations in multi-workload mode (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -80,45 +96,175 @@ func main() {
 		return
 	}
 
-	var streams []workload.Stream
-	var labels []string
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		r, err := trace.NewReader(f)
-		if err != nil {
-			fatal(err)
-		}
-		streams = append(streams, r)
-		labels = append(labels, *tracePath)
-	} else {
-		spec, err := cat.Get(*workloadName)
-		if err != nil {
-			fatal(err)
-		}
-		streams = append(streams, spec.NewStream())
-		labels = append(labels, *workloadName)
+	hopts := harness.Options{
+		Parallelism:      *parallelism,
+		Retries:          *retries,
+		JobTimeout:       *jobTimeout,
+		WatchdogInterval: *wdInterval,
+		WatchdogSamples:  *wdSamples,
+		Checkpoint:       *checkpoint,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
 	}
-	if *smtPartner != "" {
-		spec, err := cat.Get(*smtPartner)
-		if err != nil {
-			fatal(err)
-		}
-		streams = append(streams, spec.NewStream())
-		labels = append(labels, *smtPartner)
+	if hopts.Parallelism <= 0 {
+		hopts.Parallelism = runtime.GOMAXPROCS(0)
 	}
 
-	m, err := sim.NewMachine(cfg)
+	names := splitNonEmpty(*workloadName)
+	if *tracePath == "" && len(names) > 1 {
+		if *smtPartner != "" {
+			fatal(fmt.Errorf("-smt requires a single -workload"))
+		}
+		runBatch(cat, cfg, hopts, names, *warmup, *measure)
+		return
+	}
+
+	// Single-run mode (catalogue workload, SMT pair, or recorded trace):
+	// still supervised, with the full statistics report on success.
+	var mkStreams func() ([]workload.Stream, []string, error)
+	key := fmt.Sprintf("itpsim|%s|%s/%s/%s|h%.2f|%d/%d",
+		*workloadName+"+"+*smtPartner, cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy,
+		cfg.HugePageFraction, *warmup, *measure)
+	if *tracePath != "" {
+		key = fmt.Sprintf("itpsim|trace:%s|%s/%s/%s|%d/%d",
+			*tracePath, cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy, *warmup, *measure)
+		mkStreams = func() ([]workload.Stream, []string, error) {
+			f, err := os.Open(*tracePath)
+			if err != nil {
+				return nil, nil, harness.Permanent(err)
+			}
+			r, err := trace.NewReader(f)
+			if err != nil {
+				f.Close()
+				return nil, nil, harness.Permanent(err)
+			}
+			return []workload.Stream{r}, []string{*tracePath}, nil
+		}
+	} else {
+		mkStreams = func() ([]workload.Stream, []string, error) {
+			spec, err := cat.Get(names[0])
+			if err != nil {
+				return nil, nil, harness.Permanent(err)
+			}
+			streams := []workload.Stream{spec.NewStream()}
+			labels := []string{spec.Name}
+			if *smtPartner != "" {
+				partner, err := cat.Get(*smtPartner)
+				if err != nil {
+					return nil, nil, harness.Permanent(err)
+				}
+				streams = append(streams, partner.NewStream())
+				labels = append(labels, partner.Name)
+			}
+			return streams, labels, nil
+		}
+	}
+
+	var labels []string
+	job := harness.Job[*stats.Sim]{
+		Key: key,
+		Run: func(jc *harness.JobContext) (*stats.Sim, error) {
+			streams, ls, err := mkStreams()
+			if err != nil {
+				return nil, err
+			}
+			labels = ls
+			m, err := sim.NewMachine(cfg)
+			if err != nil {
+				return nil, harness.Permanent(err)
+			}
+			jc.Attach(m)
+			res, err := m.RunWarmup(streams, *warmup, *measure)
+			if err != nil {
+				return nil, err
+			}
+			return res.Stats, nil
+		},
+	}
+	outs, err := harness.RunAll(hopts, []harness.Job[*stats.Sim]{job})
 	if err != nil {
 		fatal(err)
 	}
-	res := m.RunWarmup(streams, *warmup, *measure)
+	s := outs[0].Result
+	if outs[0].Cached {
+		labels = []string{*workloadName + " (from checkpoint)"}
+	}
 	fmt.Printf("workloads: %v\npolicies: STLB=%s L2C=%s LLC=%s\nwarmup=%d measure=%d per thread\n\n",
 		labels, cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy, *warmup, *measure)
-	fmt.Print(res.Stats)
+	fmt.Print(s)
+}
+
+// runBatch is the supervised multi-workload mode: one harness job per
+// workload, a compact summary table, and an exit status reflecting
+// whether every job succeeded.
+func runBatch(cat *workload.Catalog, cfg config.SystemConfig, hopts harness.Options,
+	names []string, warmup, measure uint64) {
+	jobs := make([]harness.Job[*stats.Sim], len(names))
+	for i, name := range names {
+		name := name
+		jobs[i] = harness.Job[*stats.Sim]{
+			Key: fmt.Sprintf("itpsim|%s|%s/%s/%s|h%.2f|%d/%d",
+				name, cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy,
+				cfg.HugePageFraction, warmup, measure),
+			Run: func(jc *harness.JobContext) (*stats.Sim, error) {
+				spec, err := cat.Get(name)
+				if err != nil {
+					return nil, harness.Permanent(err)
+				}
+				m, err := sim.NewMachine(cfg)
+				if err != nil {
+					return nil, harness.Permanent(err)
+				}
+				jc.Attach(m)
+				res, err := m.RunWarmup([]workload.Stream{spec.NewStream()}, warmup, measure)
+				if err != nil {
+					return nil, err
+				}
+				return res.Stats, nil
+			},
+		}
+	}
+	outs, err := harness.RunAll(hopts, jobs)
+	if outs == nil {
+		fatal(err)
+	}
+
+	fmt.Printf("batch: %d workloads; policies STLB=%s L2C=%s LLC=%s; %d+%d instr\n\n",
+		len(names), cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy, warmup, measure)
+	fmt.Printf("%-12s %8s %9s %9s %8s %s\n", "workload", "IPC", "STLB-MPKI", "walk-lat", "itc%", "status")
+	failed := 0
+	for i, out := range outs {
+		if out.Err != nil {
+			failed++
+			fmt.Printf("%-12s %8s %9s %9s %8s FAILED (attempt %d)\n",
+				names[i], "-", "-", "-", "-", out.Attempts)
+			continue
+		}
+		s := out.Result
+		status := "ok"
+		if out.Cached {
+			status = "ok (checkpoint)"
+		}
+		ti := s.TotalInstructions()
+		fmt.Printf("%-12s %8.4f %9.3f %9.1f %7.1f%% %s\n",
+			names[i], s.IPC(), s.STLB.MPKI(ti), s.STLB.AvgMissLatency(),
+			100*s.InstrTransFraction(), status)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\nitpsim: %d/%d jobs failed:\n%v\n", failed, len(names), err)
+		os.Exit(1)
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -3,22 +3,31 @@
 // a policy combination, one machine parameter, and a list of values; get
 // one row per value with IPC and the key translation metrics.
 //
+// Every simulation runs under the fault-tolerant harness: a panicking,
+// erroring, or stalled job is reported (with a diagnostic snapshot) and
+// the rest of the sweep completes; -checkpoint journals finished jobs so
+// an interrupted sweep resumes where it stopped.
+//
 // Examples:
 //
 //	itpsweep -param xptp.k -values 2,4,6,8
 //	itpsweep -param itp.n -values 1,2,4,6 -stlb itp
 //	itpsweep -param stlb-entries -values 768,1536,3072 -workloads srv_000,srv_007
 //	itpsweep -param huge -values 0,0.1,0.5,1.0 -stlb itp -l2c xptp
+//	itpsweep -param rob -values 256,512 -retries 2 -job-timeout 10m -checkpoint sweep.ckpt
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"itpsim/internal/config"
+	"itpsim/internal/harness"
 	"itpsim/internal/sim"
 	"itpsim/internal/stats"
 	"itpsim/internal/workload"
@@ -68,6 +77,13 @@ func main() {
 		llcPol    = flag.String("llc", "lru", "LLC policy")
 		warmup    = flag.Uint64("warmup", 500_000, "warmup instructions")
 		measure   = flag.Uint64("n", 1_500_000, "measured instructions")
+
+		retries     = flag.Int("retries", 0, "retry attempts for transiently failed jobs")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
+		checkpoint  = flag.String("checkpoint", "", "JSON-lines checkpoint journal; completed jobs are skipped on re-run")
+		wdInterval  = flag.Duration("watchdog-interval", 5*time.Second, "forward-progress sampling period (0 disables the watchdog)")
+		wdSamples   = flag.Int("watchdog-samples", 6, "consecutive no-progress samples before a run is killed")
+		parallelism = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -89,45 +105,117 @@ func main() {
 		fmt.Fprintln(os.Stderr, "itpsweep: -values required")
 		os.Exit(2)
 	}
-	names := strings.Split(*workloads, ",")
+	var names []string
+	for _, n := range strings.Split(*workloads, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
 
 	cat := workload.NewCatalog(120, 20)
+
+	// One harness job per (value, workload) point; the whole grid runs
+	// supervised and failures cost single points, not the sweep.
+	type point struct {
+		value    float64
+		workload string
+	}
+	var pts []point
+	var jobs []harness.Job[*stats.Sim]
+	for _, v := range vals {
+		for _, name := range names {
+			v, name := v, name
+			pts = append(pts, point{v, name})
+			jobs = append(jobs, harness.Job[*stats.Sim]{
+				Key: fmt.Sprintf("sweep|%s=%g|%s|%s/%s/%s|%d/%d",
+					*param, v, name, *stlbPol, *l2cPol, *llcPol, *warmup, *measure),
+				Run: func(jc *harness.JobContext) (*stats.Sim, error) {
+					spec, err := cat.Get(name)
+					if err != nil {
+						return nil, harness.Permanent(err)
+					}
+					cfg := config.Default()
+					cfg.STLBPolicy = *stlbPol
+					cfg.L2CPolicy = *l2cPol
+					cfg.LLCPolicy = *llcPol
+					if err := mutate(&cfg, v); err != nil {
+						return nil, harness.Permanent(err)
+					}
+					m, err := sim.NewMachine(cfg)
+					if err != nil {
+						return nil, harness.Permanent(err)
+					}
+					jc.Attach(m)
+					res, err := m.RunWarmup([]workload.Stream{spec.NewStream()}, *warmup, *measure)
+					if err != nil {
+						return nil, err
+					}
+					return res.Stats, nil
+				},
+			})
+		}
+	}
+
+	hopts := harness.Options{
+		Parallelism:      *parallelism,
+		Retries:          *retries,
+		JobTimeout:       *jobTimeout,
+		WatchdogInterval: *wdInterval,
+		WatchdogSamples:  *wdSamples,
+		Checkpoint:       *checkpoint,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if hopts.Parallelism <= 0 {
+		hopts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	outs, err := harness.RunAll(hopts, jobs)
+	if outs == nil {
+		fmt.Fprintln(os.Stderr, "itpsweep:", err)
+		os.Exit(1)
+	}
+
 	fmt.Printf("sweep %s over %v; policies STLB=%s L2C=%s LLC=%s; %d+%d instr\n\n",
 		*param, vals, *stlbPol, *l2cPol, *llcPol, *warmup, *measure)
 	fmt.Printf("%-10s %-10s %8s %9s %9s %9s %9s\n",
 		"value", "workload", "IPC", "STLB-MPKI", "walk-lat", "L2C-dt", "itc%")
 
+	failed := 0
+	i := 0
 	for _, v := range vals {
 		ratios := make([]float64, 0, len(names))
-		for _, name := range names {
-			spec, err := cat.Get(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "itpsweep:", err)
-				os.Exit(1)
+		for range names {
+			pt, out := pts[i], outs[i]
+			i++
+			if out.Err != nil {
+				failed++
+				fmt.Printf("%-10.3g %-10s FAILED: %v\n", pt.value, pt.workload, firstLine(out.Err))
+				continue
 			}
-			cfg := config.Default()
-			cfg.STLBPolicy = *stlbPol
-			cfg.L2CPolicy = *l2cPol
-			cfg.LLCPolicy = *llcPol
-			if err := mutate(&cfg, v); err != nil {
-				fmt.Fprintln(os.Stderr, "itpsweep:", err)
-				os.Exit(1)
-			}
-			m, err := sim.NewMachine(cfg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "itpsweep:", err)
-				os.Exit(1)
-			}
-			res := m.RunWarmup([]workload.Stream{spec.NewStream()}, *warmup, *measure)
-			s := res.Stats
+			s := out.Result
 			ti := s.TotalInstructions()
 			fmt.Printf("%-10.3g %-10s %8.4f %9.3f %9.1f %9.2f %8.1f%%\n",
-				v, spec.Name, res.IPC, s.STLB.MPKI(ti), s.STLB.AvgMissLatency(),
+				pt.value, pt.workload, s.IPC(), s.STLB.MPKI(ti), s.STLB.AvgMissLatency(),
 				s.L2C.BucketMPKI(stats.BDataTrans, ti), 100*s.InstrTransFraction())
-			ratios = append(ratios, res.IPC)
+			ratios = append(ratios, s.IPC())
 		}
 		fmt.Printf("%-10.3g %-10s %8.4f\n\n", v, "GEOMEAN", stats.Geomean(ratios))
 	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "itpsweep: %d/%d jobs failed:\n%v\n", failed, len(jobs), err)
+		os.Exit(1)
+	}
+}
+
+// firstLine truncates multi-line errors (panic stacks, snapshots) for the
+// table; the full detail went to stderr via the harness log.
+func firstLine(err error) string {
+	s := err.Error()
+	if idx := strings.IndexByte(s, '\n'); idx >= 0 {
+		s = s[:idx] + " ..."
+	}
+	return s
 }
 
 func paramNames() string {

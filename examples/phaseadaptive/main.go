@@ -61,7 +61,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := m.RunWarmup([]workload.Stream{mkStream()}, 800_000, 4_800_000)
+		res, err := m.RunWarmup([]workload.Stream{mkStream()}, 800_000, 4_800_000)
+		if err != nil {
+			log.Fatal(err)
+		}
 		return m, res.IPC
 	}
 

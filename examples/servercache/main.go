@@ -44,7 +44,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := m.RunWarmup([]workload.Stream{spec.NewStream()}, 1_000_000, 3_000_000)
+		res, err := m.RunWarmup([]workload.Stream{spec.NewStream()}, 1_000_000, 3_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
 		s := res.Stats
 		ti := s.TotalInstructions()
 		if baseIPC == 0 {

@@ -38,7 +38,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := m.RunWarmup([]workload.Stream{a.NewStream(), b.NewStream()}, warmup, measure)
+		res, err := m.RunWarmup([]workload.Stream{a.NewStream(), b.NewStream()}, warmup, measure)
+		if err != nil {
+			log.Fatal(err)
+		}
 		return res.IPC
 	}
 

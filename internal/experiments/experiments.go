@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -14,8 +15,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"itpsim/internal/config"
+	"itpsim/internal/harness"
 	"itpsim/internal/sim"
 	"itpsim/internal/stats"
 	"itpsim/internal/workload"
@@ -37,6 +40,26 @@ type Options struct {
 	Measure uint64
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+
+	// Fault tolerance: every sweep routes its jobs through the
+	// internal/harness supervisor with these settings.
+	//
+	// Retries re-attempts transiently failed jobs with capped exponential
+	// backoff; JobTimeout is the per-simulation wall-clock deadline
+	// (0 = none). WatchdogInterval/WatchdogSamples arm the
+	// forward-progress watchdog: a simulation that retires no instruction
+	// for that many consecutive samples is killed with a diagnostic
+	// snapshot. Checkpoint names a JSON-lines journal of completed jobs
+	// (keyed like the in-process memo) so an interrupted campaign resumes
+	// without re-running finished work.
+	Retries          int
+	JobTimeout       time.Duration
+	WatchdogInterval time.Duration
+	WatchdogSamples  int
+	Checkpoint       string
+	// Logf receives supervision events (retries, kills, resumes);
+	// nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Defaults returns laptop-scale defaults.
@@ -47,6 +70,12 @@ func Defaults() Options {
 		SMTPairsPerCategory: 2,
 		Warmup:              1_000_000,
 		Measure:             3_000_000,
+		// A healthy simulation never stops retiring, so a generous
+		// no-progress watchdog (30s of zero retires) is safe to arm by
+		// default and turns a livelocked job into one structured failure
+		// instead of a hung campaign.
+		WatchdogInterval: 5 * time.Second,
+		WatchdogSamples:  6,
 	}
 }
 
@@ -58,6 +87,8 @@ func Quick() Options {
 		SMTPairsPerCategory: 1,
 		Warmup:              200_000,
 		Measure:             400_000,
+		WatchdogInterval:    5 * time.Second,
+		WatchdogSamples:     6,
 	}
 }
 
@@ -110,27 +141,39 @@ func (c Combo) apply(cfg *config.SystemConfig) {
 	cfg.LLCPolicy = c.LLC
 }
 
-// runner executes simulations for one experiment, in parallel and with
-// memoisation so shared baselines are only simulated once.
+// runner executes simulations for one experiment through the harness
+// supervisor, with memoisation so shared baselines are only simulated
+// once.
 type runner struct {
 	o   Options
 	cat *workload.Catalog
 
-	mu    sync.Mutex
-	memo  map[string]*stats.Sim
-	limit chan struct{}
+	mu   sync.Mutex
+	memo map[string]*stats.Sim
 }
 
 func newRunner(o Options) *runner {
-	par := o.Parallelism
+	return &runner{
+		o:    o,
+		cat:  workload.NewCatalog(120, 20),
+		memo: make(map[string]*stats.Sim),
+	}
+}
+
+// harnessOptions maps the experiment options onto the supervisor.
+func (r *runner) harnessOptions() harness.Options {
+	par := r.o.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	return &runner{
-		o:     o,
-		cat:   workload.NewCatalog(120, 20),
-		memo:  make(map[string]*stats.Sim),
-		limit: make(chan struct{}, par),
+	return harness.Options{
+		Parallelism:      par,
+		Retries:          r.o.Retries,
+		JobTimeout:       r.o.JobTimeout,
+		WatchdogInterval: r.o.WatchdogInterval,
+		WatchdogSamples:  r.o.WatchdogSamples,
+		Checkpoint:       r.o.Checkpoint,
+		Logf:             r.o.Logf,
 	}
 }
 
@@ -175,8 +218,10 @@ func (r *runner) newJob(names []string, cfg config.SystemConfig, tag string) job
 	return job{key: key, names: names, cfg: cfg, warmup: r.o.Warmup, measure: r.o.Measure}
 }
 
-// run executes (or recalls) one job.
-func (r *runner) run(j job) (*stats.Sim, error) {
+// run executes (or recalls) one job under the supervisor's JobContext:
+// the machine is attached so the forward-progress watchdog can sample it
+// and interrupt it.
+func (r *runner) run(jc *harness.JobContext, j job) (*stats.Sim, error) {
 	r.mu.Lock()
 	if s, ok := r.memo[j.key]; ok {
 		r.mu.Unlock()
@@ -188,15 +233,30 @@ func (r *runner) run(j job) (*stats.Sim, error) {
 	for i, n := range j.names {
 		spec, err := r.cat.Get(n)
 		if err != nil {
-			return nil, err
+			// Unknown workloads stay unknown on retry.
+			return nil, harness.Permanent(err)
 		}
 		streams[i] = spec.NewStream()
 	}
 	m, err := sim.NewMachine(j.cfg)
 	if err != nil {
+		return nil, harness.Permanent(err)
+	}
+	if jc != nil {
+		jc.Attach(m)
+		// Context-aware sources (network trace feeds, pipes) unblock when
+		// the supervisor kills the job, so a stalled Next cannot pin the
+		// goroutine past the kill grace period.
+		for _, s := range streams {
+			if b, ok := s.(interface{ Bind(context.Context) }); ok {
+				b.Bind(jc.Context())
+			}
+		}
+	}
+	res, err := m.RunWarmup(streams, j.warmup, j.measure)
+	if err != nil {
 		return nil, err
 	}
-	res := m.RunWarmup(streams, j.warmup, j.measure)
 
 	r.mu.Lock()
 	r.memo[j.key] = res.Stats
@@ -204,27 +264,41 @@ func (r *runner) run(j job) (*stats.Sim, error) {
 	return res.Stats, nil
 }
 
-// runAll executes jobs in parallel, preserving order.
+// runAll executes jobs through the harness supervisor, preserving order.
+// Unlike a fail-fast batch, every healthy job's result is returned even
+// when others fail: failures come back joined into one error (via
+// errors.Join inside the harness) with the corresponding output slots
+// left nil, so callers can keep partial sweeps and report exactly which
+// jobs died.
 func (r *runner) runAll(jobs []job) ([]*stats.Sim, error) {
-	out := make([]*stats.Sim, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
+	hjobs := make([]harness.Job[*stats.Sim], len(jobs))
 	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			r.limit <- struct{}{}
-			defer func() { <-r.limit }()
-			out[i], errs[i] = r.run(jobs[i])
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		j := jobs[i]
+		hjobs[i] = harness.Job[*stats.Sim]{
+			Key: j.key,
+			Run: func(jc *harness.JobContext) (*stats.Sim, error) { return r.run(jc, j) },
 		}
 	}
-	return out, nil
+	outs, err := harness.RunAll(r.harnessOptions(), hjobs)
+	if outs == nil {
+		return nil, err
+	}
+	out := make([]*stats.Sim, len(jobs))
+	for i := range outs {
+		if outs[i].Err != nil {
+			continue
+		}
+		out[i] = outs[i].Result
+		if outs[i].Cached {
+			// Results recalled from the checkpoint journal feed the
+			// in-process memo too, so same-key jobs later in the
+			// experiment reuse them.
+			r.mu.Lock()
+			r.memo[outs[i].Key] = outs[i].Result
+			r.mu.Unlock()
+		}
+	}
+	return out, err
 }
 
 // speedup returns the relative IPC improvement in percent.

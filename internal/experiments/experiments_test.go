@@ -2,11 +2,16 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"itpsim/internal/config"
+	"itpsim/internal/harness"
 	"itpsim/internal/stats"
+	"itpsim/internal/workload"
 )
 
 // tiny returns sub-second options for unit tests.
@@ -194,16 +199,133 @@ func TestMemoisationSharesBaselines(t *testing.T) {
 	if j1.key != j2.key {
 		t.Error("identical jobs should share a memo key")
 	}
-	s1, err := r.run(j1)
+	s1, err := r.run(nil, j1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := r.run(j2)
+	s2, err := r.run(nil, j2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s1 != s2 {
 		t.Error("memoised run should return the same stats object")
+	}
+}
+
+// TestRunAllReportsFaultsWithPartialResults is the acceptance scenario:
+// a sweep containing one injected-panic job and one injected-stall job
+// must complete, report both failures (with stack and diagnostic
+// snapshot), and still produce results for every healthy job.
+func TestRunAllReportsFaultsWithPartialResults(t *testing.T) {
+	o := tiny()
+	o.WatchdogInterval = 10 * time.Millisecond
+	o.WatchdogSamples = 3
+	r := newRunner(o)
+	base, err := r.cat.Get("spec_000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.cat.Register("fault_panic", workload.HighPressure, func() workload.Stream {
+		return workload.NewPanicStream(base.NewStream(), 10_000)
+	})
+	r.cat.Register("fault_stall", workload.HighPressure, func() workload.Stream {
+		// Auto-release only bounds the leak if the kill path were broken;
+		// the supervisor's context cancellation is the real unblock.
+		return workload.NewStallStream(base.NewStream(), 30_000, 5*time.Second)
+	})
+
+	cfg := config.Default()
+	jobs := []job{
+		r.newJob([]string{"srv_000"}, cfg, "fault-sweep"),
+		r.newJob([]string{"fault_panic"}, cfg, "fault-sweep"),
+		r.newJob([]string{"fault_stall"}, cfg, "fault-sweep"),
+		r.newJob([]string{"spec_001"}, cfg, "fault-sweep"),
+	}
+	sims, err := r.runAll(jobs)
+	if err == nil {
+		t.Fatal("sweep with injected faults must report an error")
+	}
+	var pe *harness.PanicError
+	if !errors.As(err, &pe) {
+		t.Errorf("joined error should contain the injected panic, got: %v", err)
+	} else if !strings.Contains(pe.Error(), "injected panic") || !strings.Contains(pe.Error(), "goroutine") {
+		t.Errorf("panic error should carry the value and a stack, got: %v", pe)
+	}
+	var se *harness.StallError
+	if !errors.As(err, &se) {
+		t.Errorf("joined error should contain the watchdog stall, got: %v", err)
+	} else if !strings.Contains(se.Snapshot, "progress=") {
+		t.Errorf("stall should carry a diagnostic snapshot, got: %q", se.Snapshot)
+	}
+	if sims[0] == nil || sims[3] == nil {
+		t.Error("healthy jobs must produce results despite the faulty ones")
+	}
+	if sims[1] != nil || sims[2] != nil {
+		t.Error("failed jobs must leave their result slots nil")
+	}
+}
+
+// TestRunAllCheckpointResume re-runs an interrupted campaign against the
+// same journal with a fresh runner (cold in-process memo, as after a
+// process restart): completed jobs must be recalled from the checkpoint
+// without re-simulation, and only the previously failed job re-executes.
+func TestRunAllCheckpointResume(t *testing.T) {
+	o := tiny()
+	o.Checkpoint = filepath.Join(t.TempDir(), "exp.ckpt")
+	cfg := config.Default()
+
+	r1 := newRunner(o)
+	base1, err := r1.cat.Get("spec_000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.cat.Register("flappy", workload.HighPressure, func() workload.Stream {
+		return workload.NewPanicStream(base1.NewStream(), 10_000)
+	})
+	jobs1 := []job{
+		r1.newJob([]string{"srv_000"}, cfg, "resume"),
+		r1.newJob([]string{"flappy"}, cfg, "resume"),
+		r1.newJob([]string{"spec_001"}, cfg, "resume"),
+	}
+	sims1, err := r1.runAll(jobs1)
+	if err == nil {
+		t.Fatal("first pass must report the injected failure")
+	}
+	if sims1[0] == nil || sims1[2] == nil {
+		t.Fatal("healthy jobs of the first pass must complete")
+	}
+
+	// Second pass: poison the completed workloads' generators so any
+	// re-simulation panics (and fails the pass), and heal the flaky one.
+	r2 := newRunner(o)
+	r2.cat.Register("srv_000", workload.HighPressure, func() workload.Stream {
+		panic("checkpointed job was re-simulated")
+	})
+	r2.cat.Register("spec_001", workload.LowPressure, func() workload.Stream {
+		panic("checkpointed job was re-simulated")
+	})
+	base2, err := r2.cat.Get("spec_000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.cat.Register("flappy", workload.HighPressure, base2.NewStream)
+	jobs2 := []job{
+		r2.newJob([]string{"srv_000"}, cfg, "resume"),
+		r2.newJob([]string{"flappy"}, cfg, "resume"),
+		r2.newJob([]string{"spec_001"}, cfg, "resume"),
+	}
+	sims2, err := r2.runAll(jobs2)
+	if err != nil {
+		t.Fatalf("resumed pass should recall completed jobs and heal the rest: %v", err)
+	}
+	for i, s := range sims2 {
+		if s == nil {
+			t.Fatalf("resumed pass left slot %d empty", i)
+		}
+	}
+	// Recalled results survive the JSON round trip with their numbers.
+	if sims2[0].IPC() != sims1[0].IPC() || sims2[0].TotalInstructions() != sims1[0].TotalInstructions() {
+		t.Errorf("recalled result drifted: IPC %v vs %v", sims2[0].IPC(), sims1[0].IPC())
 	}
 }
 

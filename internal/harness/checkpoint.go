@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// checkpointEntry is one journal line: a completed job keyed exactly like
+// the experiments runner's memo, so a resumed campaign recalls finished
+// results instead of re-simulating them.
+type checkpointEntry struct {
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// checkpoint is an append-only JSON-lines journal of completed jobs.
+// Lines are flushed per record, so a crash loses at most the job being
+// written; a torn trailing line is skipped on load.
+type checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	done map[string]json.RawMessage
+}
+
+// openCheckpoint loads any existing journal at path and opens it for
+// appending, creating it when absent.
+func openCheckpoint(path string, logf func(string, ...any)) (*checkpoint, error) {
+	done := make(map[string]json.RawMessage)
+	if data, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var e checkpointEntry
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				// A torn write from an interrupted run: skip, keep what
+				// parses. The job will simply re-run.
+				logf("harness: checkpoint %s line %d unreadable (%v), skipping", path, line, err)
+				continue
+			}
+			done[e.Key] = e.Result
+		}
+		if len(done) > 0 {
+			logf("harness: checkpoint %s: resuming with %d completed job(s)", path, len(done))
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &checkpoint{f: f, w: bufio.NewWriter(f), done: done}, nil
+}
+
+// lookup recalls a completed result into out; ok reports presence.
+func (c *checkpoint) lookup(key string, out any) (ok bool, err error) {
+	c.mu.Lock()
+	raw, present := c.done[key]
+	c.mu.Unlock()
+	if !present {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("decode result for %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// record journals one completed job and flushes it to disk.
+func (c *checkpoint) record(key string, result any) error {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(checkpointEntry{Key: key, Result: raw})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[key] = raw
+	if _, err := c.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *checkpoint) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.Flush(); err != nil {
+		c.f.Close()
+		return err
+	}
+	return c.f.Close()
+}

@@ -27,7 +27,7 @@ func TestServerWorkloadsMatchPaperBands(t *testing.T) {
 			t.Fatal(err)
 		}
 		m, _ := NewMachine(config.Default())
-		res := m.RunWarmup([]workload.Stream{spec.NewStream()}, 200_000, 600_000)
+		res, _ := m.RunWarmup([]workload.Stream{spec.NewStream()}, 200_000, 600_000)
 		s := res.Stats
 		ti := s.TotalInstructions()
 
@@ -62,7 +62,7 @@ func TestSpecWorkloadsMatchPaperBands(t *testing.T) {
 			t.Fatal(err)
 		}
 		m, _ := NewMachine(config.Default())
-		res := m.RunWarmup([]workload.Stream{spec.NewStream()}, 100_000, 300_000)
+		res, _ := m.RunWarmup([]workload.Stream{spec.NewStream()}, 100_000, 300_000)
 		s := res.Stats
 		ti := s.TotalInstructions()
 		if impki := s.STLB.BucketMPKI(stats.BInstr, ti); impki > 0.05 {

@@ -9,7 +9,10 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
+	"strings"
+	"sync/atomic"
 
 	"itpsim/internal/arch"
 	"itpsim/internal/branch"
@@ -55,6 +58,19 @@ type Machine struct {
 	// frontBound/backBound count dispatches limited by fetch vs by the
 	// ROB (debug attribution).
 	frontBound, backBound uint64
+
+	// retiredTotal is the machine-wide retired-instruction counter. It is
+	// the forward-progress signal an external supervisor (harness) samples
+	// while a run is in flight, so it is updated atomically.
+	retiredTotal atomic.Uint64
+	// interrupted requests that the run loop stop at the next instruction
+	// boundary; set asynchronously via Interrupt.
+	interrupted atomic.Bool
+	// diag holds the last diagnostic snapshot published by the run loop
+	// itself (so readers never race with the simulation's own structures).
+	diag atomic.Pointer[string]
+	// threads is the per-run pipeline state, only touched by the run loop.
+	threads []*threadCtx
 }
 
 // BoundSplit reports the fraction of dispatches limited by the front end.
@@ -350,9 +366,19 @@ type RunResult struct {
 	IPC   float64
 }
 
+// ErrInterrupted is returned (wrapped) when a run was stopped early via
+// Interrupt — e.g. by a supervising harness whose watchdog or deadline
+// fired. The RunResult still carries the statistics collected so far.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+// errStream is implemented by streams that can end abnormally
+// (trace.Reader, the fault-injection wrappers); a non-nil Err after the
+// run surfaces as a run error instead of a silently truncated simulation.
+type errStream interface{ Err() error }
+
 // Run simulates instrPerThread instructions on each stream (1 or 2
 // streams) and returns the collected statistics.
-func (m *Machine) Run(streams []workload.Stream, instrPerThread uint64) RunResult {
+func (m *Machine) Run(streams []workload.Stream, instrPerThread uint64) (RunResult, error) {
 	return m.RunWarmup(streams, 0, instrPerThread)
 }
 
@@ -360,10 +386,15 @@ func (m *Machine) Run(streams []workload.Stream, instrPerThread uint64) RunResul
 // TLBs, and page tables, resets the statistics, then measures over the
 // next measure instructions per thread — the paper's 50M-warmup /
 // 100M-measure methodology at configurable scale.
-func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) RunResult {
+//
+// It returns an error (alongside the partial statistics) when the stream
+// count is invalid, when the run is interrupted, or when a stream reports
+// a terminal ingestion error.
+func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) (RunResult, error) {
 	if len(streams) == 0 || len(streams) > 2 {
-		panic("sim: Run needs 1 or 2 streams")
+		return RunResult{}, fmt.Errorf("sim: Run needs 1 or 2 streams, got %d", len(streams))
 	}
+	m.interrupted.Store(false)
 	threads := make([]*threadCtx, len(streams))
 	// In SMT mode fetch alternates threads every cycle, halving each
 	// thread's effective fetch bandwidth.
@@ -375,8 +406,15 @@ func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) R
 		threads[i] = newThreadCtx(uint8(i), streams[i], &m.cfg, fetchStep, warmup+measure)
 	}
 
+	m.threads = threads
+	defer func() { m.threads = nil }()
+	m.publishDiag()
+
 	run := func(until uint64) {
 		for {
+			if m.interrupted.Load() {
+				return
+			}
 			// Advance the thread that is earliest in simulated time to
 			// keep shared-structure state approximately time-ordered.
 			var t *threadCtx
@@ -430,7 +468,77 @@ func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) R
 		m.Stats.XPTPEnabledWindows = m.ctrl.EnabledWindows
 		m.Stats.XPTPDisabledWindows = m.ctrl.DisabledWindows
 	}
-	return RunResult{Stats: m.Stats, IPC: m.Stats.IPC()}
+	m.publishDiag()
+	res := RunResult{Stats: m.Stats, IPC: m.Stats.IPC()}
+
+	var errs []error
+	if m.interrupted.Load() {
+		errs = append(errs, ErrInterrupted)
+	}
+	for i, s := range streams {
+		if es, ok := s.(errStream); ok {
+			if err := es.Err(); err != nil {
+				errs = append(errs, fmt.Errorf("sim: stream %d: %w", i, err))
+			}
+		}
+	}
+	return res, errors.Join(errs...)
+}
+
+// Interrupt asks a running simulation to stop at the next instruction
+// boundary. Safe to call from any goroutine; the interrupted RunWarmup
+// returns ErrInterrupted together with the statistics collected so far.
+func (m *Machine) Interrupt() { m.interrupted.Store(true) }
+
+// Progress returns the machine-wide retired-instruction count, updated
+// continuously while a run is in flight. It is the forward-progress
+// counter a supervisor's watchdog samples: a machine that stops retiring
+// (e.g. its trace source hung) stops advancing this counter.
+func (m *Machine) Progress() uint64 { return m.retiredTotal.Load() }
+
+// diagPublishMask throttles snapshot publication to every 64K retires.
+const diagPublishMask = 1<<16 - 1
+
+// publishDiag formats a diagnostic snapshot of the machine's occupancy
+// state and publishes it for Snapshot readers. It must only be called
+// from the simulation goroutine: it reads cache/TLB internals directly,
+// and the atomic pointer store is what makes the result safe to read
+// from a supervisor thread.
+func (m *Machine) publishDiag() {
+	var b strings.Builder
+	fmt.Fprintf(&b, "retired=%d", m.retiredTotal.Load())
+	for _, th := range m.threads {
+		fmt.Fprintf(&b, " t%d{retired=%d fetchCycle=%d lastRetire=%d done=%v}",
+			th.id, th.retired, th.fetchCycle, th.lastRetire, th.done)
+	}
+	mshrs := 0
+	for i := range m.stlbMSHRs {
+		if m.stlbMSHRs[i].valid {
+			mshrs++
+		}
+	}
+	fmt.Fprintf(&b, " stlb-mshrs=%d/%d", mshrs, len(m.stlbMSHRs))
+	si, sd := m.STLBOccupancy()
+	fmt.Fprintf(&b, " stlb-occ{instr=%d data=%d}", si, sd)
+	blocks, pte, dataPTE := m.L2COccupancy()
+	fmt.Fprintf(&b, " l2c-occ{blocks=%d pte=%d data-pte=%d}", blocks, pte, dataPTE)
+	fmt.Fprintf(&b, " dispatch-bound{front=%d back=%d}", m.frontBound, m.backBound)
+	s := b.String()
+	m.diag.Store(&s)
+}
+
+// Snapshot returns the most recently published diagnostic snapshot —
+// MSHR, STLB, and L2C occupancy plus per-thread pipeline state — together
+// with the live progress counter. It is safe to call from any goroutine
+// while a run is in flight (the harness watchdog calls it when it decides
+// to kill a stalled run); the occupancy part may be up to 64K retired
+// instructions stale.
+func (m *Machine) Snapshot() string {
+	snap := "no snapshot published yet"
+	if p := m.diag.Load(); p != nil {
+		snap = *p
+	}
+	return fmt.Sprintf("progress=%d %s", m.retiredTotal.Load(), snap)
 }
 
 // SetDebugIfetchPenalty scales instruction-translation latency (test hook).

@@ -71,7 +71,7 @@ func TestRunBasicAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := m.Run([]workload.Stream{loopStream(1000, 5)}, 1000)
+	res, _ := m.Run([]workload.Stream{loopStream(1000, 5)}, 1000)
 	if got := res.Stats.TotalInstructions(); got != 1000 {
 		t.Errorf("instructions = %d, want 1000", got)
 	}
@@ -89,7 +89,7 @@ func TestRunIsDeterministic(t *testing.T) {
 	var cycles [2]uint64
 	for i := range cycles {
 		m, _ := NewMachine(testConfig())
-		res := m.Run([]workload.Stream{spec.NewStream()}, 50000)
+		res, _ := m.Run([]workload.Stream{spec.NewStream()}, 50000)
 		cycles[i] = res.Stats.Cycles
 	}
 	if cycles[0] != cycles[1] {
@@ -99,7 +99,7 @@ func TestRunIsDeterministic(t *testing.T) {
 
 func TestStreamShorterThanBudget(t *testing.T) {
 	m, _ := NewMachine(testConfig())
-	res := m.Run([]workload.Stream{loopStream(100, 0)}, 10000)
+	res, _ := m.Run([]workload.Stream{loopStream(100, 0)}, 10000)
 	if got := res.Stats.TotalInstructions(); got != 100 {
 		t.Errorf("instructions = %d, want 100 (stream exhausted)", got)
 	}
@@ -115,7 +115,7 @@ func TestTranslationPathCounts(t *testing.T) {
 		in.LoadAddr = 0x10000000000 + arch.Addr(i)*arch.PageSize4K
 		instrs = append(instrs, in)
 	}
-	res := m.Run([]workload.Stream{&workload.Replay{Instrs: instrs}}, 5000)
+	res, _ := m.Run([]workload.Stream{&workload.Replay{Instrs: instrs}}, 5000)
 	s := res.Stats
 	if s.PageWalks[arch.DataClass] < 4000 {
 		t.Errorf("expected ~5000 data walks, got %d", s.PageWalks[arch.DataClass])
@@ -140,7 +140,7 @@ func TestInstrTransCyclesAccumulate(t *testing.T) {
 	for i := 0; i < 20000; i++ {
 		instrs = append(instrs, workload.Instr{PC: 0x400000 + arch.Addr(i)*256})
 	}
-	res := m.Run([]workload.Stream{&workload.Replay{Instrs: instrs}}, 20000)
+	res, _ := m.Run([]workload.Stream{&workload.Replay{Instrs: instrs}}, 20000)
 	if res.Stats.InstrTransCycles == 0 {
 		t.Error("instruction translation cycles not accounted")
 	}
@@ -154,7 +154,7 @@ func TestSMTRunSharesStructures(t *testing.T) {
 	a, _ := cat.Get("srv_000")
 	b, _ := cat.Get("srv_001")
 	m, _ := NewMachine(testConfig())
-	res := m.Run([]workload.Stream{a.NewStream(), b.NewStream()}, 20000)
+	res, _ := m.Run([]workload.Stream{a.NewStream(), b.NewStream()}, 20000)
 	if res.Stats.Instructions[0] != 20000 || res.Stats.Instructions[1] != 20000 {
 		t.Errorf("per-thread instructions = %v", res.Stats.Instructions)
 	}
@@ -173,10 +173,10 @@ func TestSMTContention(t *testing.T) {
 	spec, _ := cat.Get("srv_000")
 
 	solo, _ := NewMachine(testConfig())
-	soloRes := solo.Run([]workload.Stream{spec.NewStream()}, 50000)
+	soloRes, _ := solo.Run([]workload.Stream{spec.NewStream()}, 50000)
 
 	smt, _ := NewMachine(testConfig())
-	smtRes := smt.Run([]workload.Stream{spec.NewStream(), spec.NewStream()}, 50000)
+	smtRes, _ := smt.Run([]workload.Stream{spec.NewStream(), spec.NewStream()}, 50000)
 
 	perThreadSMT := smtRes.IPC / 2
 	if perThreadSMT >= soloRes.IPC {
@@ -193,7 +193,7 @@ func TestRunWarmupResetsStats(t *testing.T) {
 	cat := workload.NewCatalog(4, 2)
 	spec, _ := cat.Get("srv_000")
 	m, _ := NewMachine(testConfig())
-	res := m.RunWarmup([]workload.Stream{spec.NewStream()}, 30000, 30000)
+	res, _ := m.RunWarmup([]workload.Stream{spec.NewStream()}, 30000, 30000)
 	if got := res.Stats.TotalInstructions(); got != 30000 {
 		t.Errorf("measured instructions = %d, want 30000 (warmup excluded)", got)
 	}
@@ -207,10 +207,10 @@ func TestWarmupImprovesMeasuredHitRates(t *testing.T) {
 	spec, _ := cat.Get("srv_000")
 
 	cold, _ := NewMachine(testConfig())
-	coldRes := cold.Run([]workload.Stream{spec.NewStream()}, 50000)
+	coldRes, _ := cold.Run([]workload.Stream{spec.NewStream()}, 50000)
 
 	warm, _ := NewMachine(testConfig())
-	warmRes := warm.RunWarmup([]workload.Stream{spec.NewStream()}, 50000, 50000)
+	warmRes, _ := warm.RunWarmup([]workload.Stream{spec.NewStream()}, 50000, 50000)
 
 	if warmRes.Stats.STLB.HitRate() < coldRes.Stats.STLB.HitRate() {
 		t.Errorf("warmed STLB hit rate %.3f < cold %.3f", warmRes.Stats.STLB.HitRate(), coldRes.Stats.STLB.HitRate())
@@ -225,7 +225,7 @@ func TestITPReducesInstrSTLBMisses(t *testing.T) {
 		cfg := testConfig()
 		cfg.STLBPolicy = pol
 		m, _ := NewMachine(cfg)
-		res := m.RunWarmup([]workload.Stream{spec.NewStream()}, 200000, 400000)
+		res, _ := m.RunWarmup([]workload.Stream{spec.NewStream()}, 200000, 400000)
 		ti := res.Stats.TotalInstructions()
 		return float64(res.Stats.STLB.Misses[1]) / float64(ti) * 1000 // BInstr bucket
 	}
@@ -266,7 +266,7 @@ func TestSplitSTLBRuns(t *testing.T) {
 	if m.STLBPolicyName() != "split" {
 		t.Error("split STLB not constructed")
 	}
-	res := m.Run([]workload.Stream{spec.NewStream()}, 30000)
+	res, _ := m.Run([]workload.Stream{spec.NewStream()}, 30000)
 	if res.IPC <= 0 {
 		t.Error("split STLB run failed")
 	}
@@ -280,7 +280,7 @@ func TestHugePagesReduceWalks(t *testing.T) {
 		cfg := testConfig()
 		cfg.HugePageFraction = frac
 		m, _ := NewMachine(cfg)
-		res := m.Run([]workload.Stream{spec.NewStream()}, 100000)
+		res, _ := m.Run([]workload.Stream{spec.NewStream()}, 100000)
 		return res.Stats.PageWalks[0] + res.Stats.PageWalks[1]
 	}
 	if w0, w100 := walks(0), walks(1.0); w100 >= w0 {
@@ -296,7 +296,8 @@ func TestHugePagesImproveIPC(t *testing.T) {
 		cfg := testConfig()
 		cfg.HugePageFraction = frac
 		m, _ := NewMachine(cfg)
-		return m.RunWarmup([]workload.Stream{spec.NewStream()}, 100000, 200000).IPC
+		res, _ := m.RunWarmup([]workload.Stream{spec.NewStream()}, 100000, 200000)
+		return res.IPC
 	}
 	if i0, i100 := ipc(0), ipc(1.0); i100 <= i0 {
 		t.Errorf("full 2MB backing should improve IPC: %.4f vs %.4f", i100, i0)
@@ -312,7 +313,7 @@ func TestControllerWiredThroughMachine(t *testing.T) {
 	if m.Controller() == nil {
 		t.Fatal("xptp should create the adaptive controller")
 	}
-	res := m.Run([]workload.Stream{spec.NewStream()}, 100000)
+	res, _ := m.Run([]workload.Stream{spec.NewStream()}, 100000)
 	if res.Stats.XPTPEnabledWindows+res.Stats.XPTPDisabledWindows == 0 {
 		t.Error("controller windows not recorded")
 	}
@@ -325,7 +326,7 @@ func TestBiggerITLBReducesInstrTransCycles(t *testing.T) {
 	frac := func(entries int) float64 {
 		cfg := testConfig().WithITLBEntries(entries)
 		m, _ := NewMachine(cfg)
-		res := m.RunWarmup([]workload.Stream{spec.NewStream()}, 100000, 200000)
+		res, _ := m.RunWarmup([]workload.Stream{spec.NewStream()}, 100000, 200000)
 		return res.Stats.InstrTransFraction()
 	}
 	if small, big := frac(64), frac(1024); big >= small {
@@ -341,7 +342,7 @@ func TestFDIPReducesL1IMisses(t *testing.T) {
 		cfg := testConfig()
 		cfg.L1IFDIP = fdip
 		m, _ := NewMachine(cfg)
-		res := m.RunWarmup([]workload.Stream{spec.NewStream()}, 100000, 200000)
+		res, _ := m.RunWarmup([]workload.Stream{spec.NewStream()}, 100000, 200000)
 		return res.Stats.L1I.MPKI(res.Stats.TotalInstructions())
 	}
 	if off, on := l1iMPKI(false), l1iMPKI(true); on >= off {
@@ -413,7 +414,7 @@ func TestPerceptronPredictorOption(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", bp, err)
 		}
-		res := m.Run([]workload.Stream{spec.NewStream()}, 30000)
+		res, _ := m.Run([]workload.Stream{spec.NewStream()}, 30000)
 		if res.IPC <= 0 {
 			t.Errorf("%s: no progress", bp)
 		}
@@ -434,7 +435,7 @@ func TestSTLBMSHRMergesConcurrentWalks(t *testing.T) {
 		{PC: 0x400000, LoadAddr: 0x7000000000},
 		{PC: 0x400004, LoadAddr: 0x7000000100},
 	}
-	res := m.Run([]workload.Stream{&workload.Replay{Instrs: instrs}}, 2)
+	res, _ := m.Run([]workload.Stream{&workload.Replay{Instrs: instrs}}, 2)
 	if got := res.Stats.PageWalks[arch.DataClass]; got != 1 {
 		t.Errorf("data walks = %d, want 1 (second miss merges)", got)
 	}
@@ -451,7 +452,7 @@ func TestSMTRunIsDeterministic(t *testing.T) {
 	var cycles [2]uint64
 	for i := range cycles {
 		m, _ := NewMachine(testConfig())
-		res := m.Run([]workload.Stream{a.NewStream(), b.NewStream()}, 30000)
+		res, _ := m.Run([]workload.Stream{a.NewStream(), b.NewStream()}, 30000)
 		cycles[i] = res.Stats.Cycles
 	}
 	if cycles[0] != cycles[1] {

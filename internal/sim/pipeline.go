@@ -216,6 +216,9 @@ func (m *Machine) step(t *threadCtx) {
 	t.robPos = (t.robPos + 1) % len(t.robRing)
 
 	t.retired++
+	if m.retiredTotal.Add(1)&diagPublishMask == 0 {
+		m.publishDiag()
+	}
 	if m.ctrl != nil {
 		m.ctrl.OnRetire(1)
 	}

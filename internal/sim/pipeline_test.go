@@ -15,7 +15,7 @@ func runCycles(t *testing.T, cfg config.SystemConfig, instrs []workload.Instr) u
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := m.Run([]workload.Stream{&workload.Replay{Instrs: instrs}}, uint64(len(instrs)))
+	res, _ := m.Run([]workload.Stream{&workload.Replay{Instrs: instrs}}, uint64(len(instrs)))
 	return res.Stats.Cycles
 }
 

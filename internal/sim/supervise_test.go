@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/workload"
+)
+
+// endless is an unbounded instruction loop (a stand-in for a live trace
+// feed), so supervision tests control when the run ends.
+type endless struct{ i uint64 }
+
+func (e *endless) Next(in *workload.Instr) bool {
+	*in = workload.Instr{PC: 0x400000 + arch.Addr(e.i%256)*4}
+	if e.i%8 == 0 {
+		in.LoadAddr = 0x10000000 + arch.Addr(e.i%4096)*8
+	}
+	e.i++
+	return true
+}
+
+// hookStream runs a callback once, just before feeding instruction `at`.
+type hookStream struct {
+	s    workload.Stream
+	n    uint64
+	at   uint64
+	hook func()
+}
+
+func (h *hookStream) Next(in *workload.Instr) bool {
+	h.n++
+	if h.n == h.at {
+		h.hook()
+	}
+	return h.s.Next(in)
+}
+
+func TestRunStreamCountErrors(t *testing.T) {
+	m, err := NewMachine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(nil, 1000); err == nil || !strings.Contains(err.Error(), "1 or 2 streams") {
+		t.Errorf("zero streams should be an error, got: %v", err)
+	}
+	s := loopStream(4, 0)
+	if _, err := m.Run([]workload.Stream{s, s, s}, 1000); err == nil {
+		t.Error("three streams should be an error")
+	}
+}
+
+func TestInterruptStopsRunEarly(t *testing.T) {
+	m, err := NewMachine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &hookStream{s: &endless{}, at: 10_000, hook: m.Interrupt}
+	res, err := m.Run([]workload.Stream{s}, 1_000_000)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run should return ErrInterrupted, got: %v", err)
+	}
+	got := res.Stats.TotalInstructions()
+	if got == 0 || got >= 1_000_000 {
+		t.Errorf("interrupted run retired %d instructions, want partial progress", got)
+	}
+	if m.Progress() == 0 {
+		t.Error("Progress should reflect retired instructions")
+	}
+}
+
+func TestSnapshotDescribesMachineState(t *testing.T) {
+	m, err := NewMachine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Snapshot(); !strings.Contains(s, "progress=") {
+		t.Errorf("pre-run snapshot should still report progress, got: %q", s)
+	}
+	if _, err := m.Run([]workload.Stream{&endless{}}, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	for _, frag := range []string{"progress=", "stlb-mshrs=", "stlb-occ", "l2c-occ", "dispatch-bound"} {
+		if !strings.Contains(snap, frag) {
+			t.Errorf("snapshot missing %q: %q", frag, snap)
+		}
+	}
+}
+
+func TestStreamErrorFailsRun(t *testing.T) {
+	m, err := NewMachine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := workload.NewErrorStream(&endless{}, 5_000, nil)
+	res, err := m.Run([]workload.Stream{bad}, 100_000)
+	if !errors.Is(err, workload.ErrInjected) {
+		t.Fatalf("stream error should surface from Run, got: %v", err)
+	}
+	if res.Stats.TotalInstructions() == 0 {
+		t.Error("partial stats should survive a stream error")
+	}
+}

@@ -131,21 +131,70 @@ func Record(w *Writer, s workload.Stream, n uint64) (uint64, error) {
 	return i, nil
 }
 
+// Decode hardening bounds. Traces can come from other machines or be
+// damaged in transit, so the reader treats every decoded value as
+// untrusted: unknown flag bits, non-canonical addresses, and a zero
+// memory-operand address (reserved by the format) are all rejected with
+// an error naming the byte offset of the corrupt record. Record decoding
+// never allocates based on decoded values — uvarints are bounded by
+// binary.ReadUvarint's 10-byte limit and everything else is fixed-size —
+// so a hostile trace cannot trigger oversized allocations.
+const (
+	// flagsReserved are the flag bits the format does not define; a set
+	// reserved bit means the stream is corrupt or from a newer version.
+	flagsReserved = ^byte(flagBranch | flagTaken | flagLoad | flagStore | flagDepLoad)
+	// maxAddr bounds decoded virtual addresses to the canonical 48-bit
+	// space every generator and trace writer stays within.
+	maxAddr = uint64(1) << 48
+)
+
+// countReader counts bytes consumed from the decompressed stream so
+// decode errors can name the offset of the corrupt record.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // Reader decodes a trace; it implements workload.Stream.
 type Reader struct {
-	gz     *gzip.Reader
+	gz     *gzip.Reader // nil for raw (uncompressed) streams
+	cr     *countReader
 	r      *bufio.Reader
 	lastPC uint64
 	err    error
 }
 
-// NewReader validates the header and returns a streaming reader.
+// NewReader validates the header and returns a streaming reader over a
+// gzip-compressed trace (the on-disk format the Writer produces).
 func NewReader(in io.Reader) (*Reader, error) {
 	gz, err := gzip.NewReader(in)
 	if err != nil {
 		return nil, fmt.Errorf("trace: open: %w", err)
 	}
-	r := &Reader{gz: gz, r: bufio.NewReader(gz)}
+	r, err := newReader(gz)
+	if err != nil {
+		return nil, err
+	}
+	r.gz = gz
+	return r, nil
+}
+
+// NewRawReader reads an uncompressed record stream (magic header plus
+// records, no gzip layer). It exists so the record decoder can be fuzzed
+// and tested directly, without the fuzzer having to forge gzip framing.
+func NewRawReader(in io.Reader) (*Reader, error) {
+	return newReader(in)
+}
+
+func newReader(in io.Reader) (*Reader, error) {
+	cr := &countReader{r: in}
+	r := &Reader{cr: cr, r: bufio.NewReader(cr)}
 	var hdr [5]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: read header: %w", err)
@@ -156,44 +205,78 @@ func NewReader(in io.Reader) (*Reader, error) {
 	return r, nil
 }
 
+// offset returns the decompressed-stream byte offset of the next unread
+// byte, for error reports.
+func (r *Reader) offset() int64 { return r.cr.n - int64(r.r.Buffered()) }
+
+// corrupt records a terminal decode error at the given record offset.
+func (r *Reader) corrupt(off int64, format string, args ...any) bool {
+	r.err = fmt.Errorf("trace: corrupt record at byte offset %d: %s", off, fmt.Sprintf(format, args...))
+	return false
+}
+
 // Next implements workload.Stream.
 func (r *Reader) Next(in *workload.Instr) bool {
 	if r.err != nil {
 		return false
 	}
+	off := r.offset()
 	flags, err := r.r.ReadByte()
 	if err != nil {
-		r.err = err
+		r.err = err // clean EOF at a record boundary stays io.EOF
 		return false
+	}
+	if flags&flagsReserved != 0 {
+		return r.corrupt(off, "unknown flag bits %#02x", flags&flagsReserved)
 	}
 	delta, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		r.err = fmt.Errorf("trace: truncated record: %w", err)
+		r.err = fmt.Errorf("trace: truncated record at byte offset %d: %w", off, noEOF(err))
 		return false
 	}
 	*in = workload.Instr{}
-	r.lastPC = uint64(int64(r.lastPC) + unzigzag(delta))
-	in.PC = r.lastPC
+	pc := uint64(int64(r.lastPC) + unzigzag(delta))
+	if pc >= maxAddr {
+		return r.corrupt(off, "non-canonical PC %#x", pc)
+	}
+	r.lastPC = pc
+	in.PC = pc
 	in.IsBranch = flags&flagBranch != 0
 	in.Taken = flags&flagTaken != 0
 	in.DepLoad = flags&flagDepLoad != 0
 	if flags&flagLoad != 0 {
 		v, err := binary.ReadUvarint(r.r)
 		if err != nil {
-			r.err = fmt.Errorf("trace: truncated load: %w", err)
+			r.err = fmt.Errorf("trace: truncated load at byte offset %d: %w", off, noEOF(err))
 			return false
+		}
+		if v == 0 || v >= maxAddr {
+			return r.corrupt(off, "invalid load address %#x", v)
 		}
 		in.LoadAddr = v
 	}
 	if flags&flagStore != 0 {
 		v, err := binary.ReadUvarint(r.r)
 		if err != nil {
-			r.err = fmt.Errorf("trace: truncated store: %w", err)
+			r.err = fmt.Errorf("trace: truncated store at byte offset %d: %w", off, noEOF(err))
 			return false
+		}
+		if v == 0 || v >= maxAddr {
+			return r.corrupt(off, "invalid store address %#x", v)
 		}
 		in.StoreAddr = v
 	}
 	return true
+}
+
+// noEOF converts io.EOF inside a record into io.ErrUnexpectedEOF: a
+// stream that ends mid-record is truncated, not cleanly finished, and
+// must not be mistaken for a normal end of trace.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 // Err returns the terminal error, if Next stopped for a reason other than
@@ -205,5 +288,10 @@ func (r *Reader) Err() error {
 	return r.err
 }
 
-// Close releases the decompressor.
-func (r *Reader) Close() error { return r.gz.Close() }
+// Close releases the decompressor (a no-op for raw readers).
+func (r *Reader) Close() error {
+	if r.gz == nil {
+		return nil
+	}
+	return r.gz.Close()
+}

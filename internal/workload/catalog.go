@@ -34,16 +34,22 @@ func (b PressureBand) String() string {
 // Spec describes one named workload in the catalogue.
 type Spec struct {
 	Name string
-	// Kind is "server" or "spec".
+	// Kind is "server" or "spec" (or "custom" for registered entries).
 	Kind string
 	Band PressureBand
 	// exactly one of these is valid:
 	server ServerParams
 	spec   SpecParams
+	// makeStream overrides the generator for registered entries
+	// (fault-injection workloads, recorded traces).
+	makeStream func() Stream
 }
 
 // NewStream instantiates the workload's instruction stream.
 func (s Spec) NewStream() Stream {
+	if s.makeStream != nil {
+		return s.makeStream()
+	}
 	if s.Kind == "server" {
 		return NewServer(s.server)
 	}
@@ -157,6 +163,17 @@ func NewCatalog(nServer, nSpec int) *Catalog {
 	}
 	sort.Strings(c.names)
 	return c
+}
+
+// Register adds (or replaces) a custom workload whose stream is produced
+// by make — recorded traces or fault-injection wrappers join the same
+// namespace the experiment sweeps draw from.
+func (c *Catalog) Register(name string, band PressureBand, make func() Stream) {
+	if _, exists := c.specs[name]; !exists {
+		c.names = append(c.names, name)
+		sort.Strings(c.names)
+	}
+	c.specs[name] = Spec{Name: name, Kind: "custom", Band: band, makeStream: make}
 }
 
 // Names lists all workload names.

@@ -1,0 +1,131 @@
+// Fault-injection stream wrappers: deterministic failure modes layered
+// over any Stream so the supervision/recovery paths of the experiment
+// harness can be exercised in tests without flaky timing tricks. Each
+// wrapper forwards instructions unchanged until a trigger point, then
+// fails in its own way: returning a terminal error, panicking, or
+// stalling (blocking in Next) like a hung trace source.
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrInjected is the terminal error an ErrorStream reports; tests match
+// it with errors.Is.
+var ErrInjected = errors.New("workload: injected stream fault")
+
+// ErrorStream ends the stream after `after` instructions and reports a
+// terminal error via Err, the same contract trace.Reader uses for corrupt
+// input; the simulator surfaces it as a run error.
+type ErrorStream struct {
+	s     Stream
+	after uint64
+	n     uint64
+	err   error
+}
+
+// NewErrorStream wraps s to fail with err (ErrInjected if nil) after
+// `after` instructions.
+func NewErrorStream(s Stream, after uint64, err error) *ErrorStream {
+	if err == nil {
+		err = ErrInjected
+	}
+	return &ErrorStream{s: s, after: after, err: err}
+}
+
+// Next implements Stream.
+func (e *ErrorStream) Next(in *Instr) bool {
+	if e.n >= e.after {
+		return false
+	}
+	e.n++
+	return e.s.Next(in)
+}
+
+// Err reports the injected error once the trigger point was reached.
+func (e *ErrorStream) Err() error {
+	if e.n >= e.after {
+		return fmt.Errorf("after %d instructions: %w", e.n, e.err)
+	}
+	return nil
+}
+
+// PanicStream panics inside Next after `after` instructions — the
+// deterministic stand-in for an unrecovered bug in a generator or
+// decoder, used to exercise the harness's panic containment.
+type PanicStream struct {
+	s     Stream
+	after uint64
+	n     uint64
+}
+
+// NewPanicStream wraps s to panic after `after` instructions.
+func NewPanicStream(s Stream, after uint64) *PanicStream {
+	return &PanicStream{s: s, after: after}
+}
+
+// Next implements Stream.
+func (p *PanicStream) Next(in *Instr) bool {
+	if p.n >= p.after {
+		panic(fmt.Sprintf("workload: injected panic after %d instructions", p.n))
+	}
+	p.n++
+	return p.s.Next(in)
+}
+
+// StallStream blocks inside Next after `after` instructions, modelling a
+// livelocked ingestion source (a hung pipe or network trace feed). The
+// simulated machine stops retiring instructions, which is exactly the
+// signature the harness watchdog detects. The stall ends when the bound
+// context is cancelled, Release is called, or the optional auto-release
+// timeout expires; the stream then ends and Err reports what happened.
+type StallStream struct {
+	s       Stream
+	after   uint64
+	n       uint64
+	release chan struct{}
+	done    <-chan struct{} // optional bound context
+	timeout time.Duration   // optional auto-release (test leak bound)
+	err     error
+}
+
+// NewStallStream wraps s to stall after `after` instructions. A non-zero
+// autoRelease bounds how long the stall can hold a goroutine (tests use
+// it so an abandoned run cannot leak forever).
+func NewStallStream(s Stream, after uint64, autoRelease time.Duration) *StallStream {
+	return &StallStream{s: s, after: after, release: make(chan struct{}), timeout: autoRelease}
+}
+
+// Bind ties the stall to ctx: cancelling the context unblocks Next, the
+// cooperative-cancellation path a real ingestion source would implement.
+func (ss *StallStream) Bind(ctx context.Context) { ss.done = ctx.Done() }
+
+// Release unblocks a stalled Next (idempotent is not required; call once).
+func (ss *StallStream) Release() { close(ss.release) }
+
+// Next implements Stream.
+func (ss *StallStream) Next(in *Instr) bool {
+	if ss.n >= ss.after {
+		var timeoutC <-chan time.Time
+		if ss.timeout > 0 {
+			timeoutC = time.After(ss.timeout)
+		}
+		select {
+		case <-ss.release:
+			ss.err = fmt.Errorf("workload: injected stall after %d instructions (released)", ss.n)
+		case <-ss.done:
+			ss.err = fmt.Errorf("workload: injected stall after %d instructions (cancelled)", ss.n)
+		case <-timeoutC:
+			ss.err = fmt.Errorf("workload: injected stall after %d instructions (auto-released)", ss.n)
+		}
+		return false
+	}
+	ss.n++
+	return ss.s.Next(in)
+}
+
+// Err reports how the stall ended, nil while the stream is healthy.
+func (ss *StallStream) Err() error { return ss.err }

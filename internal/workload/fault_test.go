@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"itpsim/internal/arch"
+)
+
+func testReplay(n int) Stream {
+	instrs := make([]Instr, n)
+	for i := range instrs {
+		instrs[i].PC = 0x400000 + arch.Addr(i*4)
+	}
+	return &Replay{Instrs: instrs}
+}
+
+func TestErrorStreamEndsWithInjectedError(t *testing.T) {
+	s := NewErrorStream(testReplay(100), 10, nil)
+	var in Instr
+	n := 0
+	for s.Next(&in) {
+		n++
+	}
+	if n != 10 {
+		t.Errorf("stream fed %d instructions, want 10", n)
+	}
+	if err := s.Err(); !errors.Is(err, ErrInjected) {
+		t.Errorf("Err = %v, want ErrInjected", err)
+	}
+}
+
+func TestErrorStreamHealthyBeforeTrigger(t *testing.T) {
+	s := NewErrorStream(testReplay(100), 50, nil)
+	var in Instr
+	s.Next(&in)
+	if err := s.Err(); err != nil {
+		t.Errorf("Err before the trigger = %v, want nil", err)
+	}
+}
+
+func TestPanicStreamPanics(t *testing.T) {
+	s := NewPanicStream(testReplay(100), 3)
+	var in Instr
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("PanicStream should panic at its trigger point")
+		} else if !strings.Contains(r.(string), "injected panic") {
+			t.Errorf("unexpected panic value: %v", r)
+		}
+	}()
+	for s.Next(&in) {
+	}
+}
+
+func TestStallStreamReleasedByContext(t *testing.T) {
+	s := NewStallStream(testReplay(100), 5, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Bind(ctx)
+	time.AfterFunc(10*time.Millisecond, cancel)
+	var in Instr
+	n := 0
+	for s.Next(&in) {
+		n++
+	}
+	if n != 5 {
+		t.Errorf("stream fed %d instructions, want 5", n)
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "cancelled") {
+		t.Errorf("Err = %v, want a cancelled stall", err)
+	}
+}
+
+func TestStallStreamReleasedExplicitly(t *testing.T) {
+	s := NewStallStream(testReplay(100), 2, 0)
+	time.AfterFunc(10*time.Millisecond, s.Release)
+	var in Instr
+	for s.Next(&in) {
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "released") {
+		t.Errorf("Err = %v, want a released stall", err)
+	}
+}
