@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check fuzz-smoke bench bench-figures results quick-results clean
+.PHONY: all build test vet check cover-check fuzz-smoke bench bench-figures bench-baseline bench-compare results quick-results clean
 
 all: build vet test
 
@@ -21,13 +21,32 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# Per-package coverage floors (scripts/coverage_floors.tsv).
+cover-check:
+	sh scripts/check_coverage.sh
+
 # Short fuzz pass over the trace decoder (CI smoke).
 fuzz-smoke:
 	$(GO) test -run FuzzReader -fuzz FuzzReader -fuzztime 10s ./internal/trace
 
-# Microbenchmarks + ablations + one pass of every figure bench.
+# Benchmark baseline file: BENCH_<date>.json unless overridden.
+BENCH_BASELINE ?= BENCH_$(shell date +%Y%m%d).json
+
+# Microbenchmarks + ablations + one pass of every figure bench; the
+# parsed results are recorded as a dated JSON baseline via benchguard.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime 1x .
+	$(GO) test -bench=. -benchmem -benchtime 1x . | $(GO) run ./cmd/benchguard -record $(BENCH_BASELINE)
+
+# Stable micro-benchmarks only, for regression comparison (3 iterations
+# to damp timer noise).
+bench-baseline:
+	$(GO) test -bench 'SimulatorThroughput|CacheAccess|STLBLookup|WorkloadGeneration' -benchtime 3x -run '^$$' . \
+		| $(GO) run ./cmd/benchguard -record $(BENCH_BASELINE)
+
+# Fail on >10% ns/op slowdown between two baselines:
+#   make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json
+bench-compare:
+	$(GO) run ./cmd/benchguard -compare $(OLD),$(NEW) -threshold 0.10
 
 bench-figures:
 	$(GO) test -bench 'Fig' -benchtime 1x .

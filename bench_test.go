@@ -9,12 +9,14 @@ package itpsim
 import (
 	"strconv"
 	"testing"
+	"time"
 
 	"itpsim/internal/arch"
 	"itpsim/internal/cache"
 	"itpsim/internal/config"
 	"itpsim/internal/core"
 	"itpsim/internal/experiments"
+	"itpsim/internal/metrics"
 	"itpsim/internal/replacement"
 	"itpsim/internal/sim"
 	"itpsim/internal/tlb"
@@ -162,6 +164,84 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		m.Run([]workload.Stream{spec.NewStream()}, 100_000)
 	}
 	b.ReportMetric(float64(100_000*b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkSimulatorThroughputMetrics is the instrumented twin of
+// BenchmarkSimulatorThroughput: full registry attached, per-1000-instr
+// windows closing. The benchguard comparison of this pair is the
+// instrumentation-overhead regression gate.
+func BenchmarkSimulatorThroughputMetrics(b *testing.B) {
+	cat := workload.NewCatalog(4, 2)
+	spec, _ := cat.Get("srv_000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _ := sim.NewMachine(config.Default())
+		w := m.InstrumentMetrics(metrics.NewRegistry(), 0)
+		w.SetRetain(64)
+		m.Run([]workload.Stream{spec.NewStream()}, 100_000)
+	}
+	b.ReportMetric(float64(100_000*b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// simRunSeconds times one fresh 60k-instruction run, instrumented or not.
+func simRunSeconds(b testing.TB, instrument bool, spec workload.Spec) float64 {
+	m, err := sim.NewMachine(config.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if instrument {
+		w := m.InstrumentMetrics(metrics.NewRegistry(), 0)
+		w.SetRetain(64)
+	}
+	start := time.Now()
+	if _, err := m.Run([]workload.Stream{spec.NewStream()}, 60_000); err != nil {
+		b.Fatal(err)
+	}
+	return time.Since(start).Seconds()
+}
+
+// TestInstrumentationOverheadBudget enforces the observability design
+// budget: a fully instrumented simulation must run within 5% of the
+// uninstrumented baseline (whose nil-safe counters ARE the no-op
+// registry). Timings interleave baseline/instrumented pairs and take the
+// minimum of several runs to damp scheduler noise; the test retries
+// before declaring a regression so CI jitter cannot fail the build while
+// a real hot-path regression still does.
+func TestInstrumentationOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts the timing budget")
+	}
+	cat := workload.NewCatalog(4, 2)
+	spec, err := cat.Get("srv_000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm both paths once (page-cache, JIT-ish first-touch effects).
+	simRunSeconds(t, false, spec)
+	simRunSeconds(t, true, spec)
+
+	const budget = 1.05
+	var lastRatio float64
+	for attempt := 0; attempt < 5; attempt++ {
+		base, inst := 1e9, 1e9
+		for rep := 0; rep < 4; rep++ {
+			if v := simRunSeconds(t, false, spec); v < base {
+				base = v
+			}
+			if v := simRunSeconds(t, true, spec); v < inst {
+				inst = v
+			}
+		}
+		lastRatio = inst / base
+		if lastRatio <= budget {
+			return
+		}
+	}
+	t.Fatalf("instrumented run is %.1f%% slower than baseline across 5 attempts (budget 5%%)",
+		100*(lastRatio-1))
 }
 
 func BenchmarkWorkloadGeneration(b *testing.B) {

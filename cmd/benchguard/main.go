@@ -1,0 +1,227 @@
+// Command benchguard records and compares `go test -bench` results so CI
+// can fail on performance regressions.
+//
+// Record mode parses benchmark output from stdin into a JSON baseline
+// whose header is the same self-describing manifest the metrics exporter
+// writes (git revision, time, tool):
+//
+//	go test -bench 'Throughput' -benchtime 1x . | benchguard -record BENCH_20260806.json
+//
+// Compare mode diffs two baselines and exits non-zero when any shared
+// benchmark slowed down by more than -threshold (default 10%):
+//
+//	benchguard -compare old.json,new.json -threshold 0.10
+//
+// It also checks the instrumentation-overhead budget inside a single
+// baseline: when both BenchmarkSimulatorThroughput and its Metrics twin
+// are present, the instrumented run must be within -overhead (default 5%)
+// of the plain one.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"itpsim/internal/metrics"
+)
+
+// benchResult is one benchmark's recorded performance.
+type benchResult struct {
+	Iterations uint64             `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// baseline is the on-disk benchmark record.
+type baseline struct {
+	Manifest   metrics.Manifest       `json:"manifest"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8   12   3456 ns/op   789 instr/s ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+const (
+	plainBench        = "BenchmarkSimulatorThroughput"
+	instrumentedBench = "BenchmarkSimulatorThroughputMetrics"
+)
+
+func main() {
+	var (
+		record    = flag.String("record", "", "parse `go test -bench` output from stdin into this JSON baseline")
+		compare   = flag.String("compare", "", "old.json,new.json — fail on regressions between the two baselines")
+		threshold = flag.Float64("threshold", 0.10, "max tolerated ns/op slowdown (0.10 = 10%)")
+		overhead  = flag.Float64("overhead", 0.05, "max tolerated metrics-instrumentation overhead within one baseline")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if err := doRecord(*record); err != nil {
+			fatal(err)
+		}
+	case *compare != "":
+		parts := strings.Split(*compare, ",")
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("-compare wants old.json,new.json"))
+		}
+		if err := doCompare(parts[0], parts[1], *threshold, *overhead); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// doRecord parses benchmark output from stdin. Benchmark names are
+// de-suffixed of their -GOMAXPROCS tail so baselines recorded on machines
+// with different core counts stay comparable.
+func doRecord(path string) error {
+	benches := make(map[string]benchResult)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		fmt.Println(line) // pass through so the log keeps the raw output
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseUint(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		res := benchResult{Iterations: iters, NsPerOp: ns}
+		extra := strings.Fields(m[4])
+		for i := 0; i+1 < len(extra); i += 2 {
+			if v, err := strconv.ParseFloat(extra[i], 64); err == nil {
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[extra[i+1]] = v
+			}
+		}
+		benches[stripProcSuffix(m[1])] = res
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	b := baseline{
+		Manifest: metrics.Manifest{
+			Type: "manifest",
+			Tool: "benchguard",
+			Git:  metrics.GitDescribe(),
+			Time: time.Now().UTC().Format(time.RFC3339),
+		},
+		Benchmarks: benches,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchguard: recorded %d benchmarks to %s\n", len(benches), path)
+	return nil
+}
+
+func doCompare(oldPath, newPath string, threshold, overheadBudget float64) error {
+	oldB, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(newB.Benchmarks))
+	for name := range newB.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	shared := 0
+	for _, name := range names {
+		n := newB.Benchmarks[name]
+		o, ok := oldB.Benchmarks[name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		shared++
+		slowdown := n.NsPerOp/o.NsPerOp - 1
+		status := "ok"
+		if slowdown > threshold {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", name, o.NsPerOp, n.NsPerOp, 100*slowdown))
+		}
+		fmt.Printf("%-48s %12.0f %12.0f %+7.1f%% %s\n", name, o.NsPerOp, n.NsPerOp, 100*slowdown, status)
+	}
+	if shared == 0 {
+		return fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+
+	if plain, ok := newB.Benchmarks[plainBench]; ok {
+		if inst, ok := newB.Benchmarks[instrumentedBench]; ok && plain.NsPerOp > 0 {
+			ratio := inst.NsPerOp/plain.NsPerOp - 1
+			fmt.Printf("%-48s %+7.1f%% (budget %.0f%%)\n", "instrumentation overhead", 100*ratio, 100*overheadBudget)
+			if ratio > overheadBudget {
+				regressions = append(regressions,
+					fmt.Sprintf("instrumentation overhead %.1f%% exceeds %.0f%% budget", 100*ratio, 100*overheadBudget))
+			}
+		}
+	}
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("benchguard: %d benchmarks within %.0f%% of baseline\n", shared, 100*threshold)
+	return nil
+}
+
+func load(path string) (baseline, error) {
+	var b baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// stripProcSuffix removes the trailing -N GOMAXPROCS marker Go appends to
+// benchmark names.
+func stripProcSuffix(name string) string {
+	idx := strings.LastIndexByte(name, '-')
+	if idx < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[idx+1:]); err != nil {
+		return name
+	}
+	return name[:idx]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -18,6 +18,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
 	"runtime"
 	"strings"
@@ -25,6 +27,7 @@ import (
 
 	"itpsim/internal/config"
 	"itpsim/internal/harness"
+	"itpsim/internal/metrics"
 	"itpsim/internal/sim"
 	"itpsim/internal/stats"
 	"itpsim/internal/trace"
@@ -49,6 +52,10 @@ func main() {
 		configJSON   = flag.String("config", "", "load full machine config from JSON file")
 		dumpConfig   = flag.Bool("dump-config", false, "print the effective config as JSON and exit")
 		list         = flag.Bool("list", false, "list catalogue workloads and exit")
+
+		metricsOut    = flag.String("metrics-out", "", "write the per-window metrics series (JSON lines) to this file")
+		metricsWindow = flag.Uint64("metrics-window", 0, "metrics sampling window in retired instructions (0 = the adaptive controller's window when one exists, else 1000)")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
 
 		retries     = flag.Int("retries", 0, "retry attempts for transiently failed jobs")
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
@@ -112,11 +119,74 @@ func main() {
 	}
 
 	names := splitNonEmpty(*workloadName)
+
+	// Observability: the optional JSONL series export and the pprof/expvar
+	// debug server. attachMetrics instruments one machine per harness job;
+	// with neither flag set it is free (no registry is created).
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "itpsim: pprof server:", err)
+			}
+		}()
+	}
+	// 0 = align the sampler with the adaptive controller, so each exported
+	// window carries the decision that exact window produced; without a
+	// controller fall back to the paper's 1000-instruction window.
+	mWindow := *metricsWindow
+	if mWindow == 0 {
+		mWindow = metrics.DefaultWindow
+		if cfg.L2CPolicy == "xptp" && cfg.XPTP.WindowInstr != 0 {
+			mWindow = cfg.XPTP.WindowInstr
+		}
+	}
+	var exporter *metrics.JSONL
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		exporter = metrics.NewJSONL(f)
+		cfgJSON, err := cfg.MarshalPretty()
+		if err != nil {
+			fatal(err)
+		}
+		series := names
+		if *tracePath != "" {
+			series = []string{*tracePath}
+		}
+		if err := exporter.Manifest(metrics.Manifest{
+			Tool:        "itpsim",
+			Git:         metrics.GitDescribe(),
+			Time:        time.Now().UTC().Format(time.RFC3339),
+			ConfigHash:  metrics.ConfigHash(cfgJSON),
+			WindowInstr: mWindow,
+			Policies:    map[string]string{"stlb": cfg.STLBPolicy, "l2c": cfg.L2CPolicy, "llc": cfg.LLCPolicy},
+			Workloads:   series,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	attachMetrics := func(m *sim.Machine, job string) {
+		if exporter == nil && *pprofAddr == "" {
+			return
+		}
+		reg := metrics.NewRegistry()
+		w := m.InstrumentMetrics(reg, mWindow)
+		if exporter != nil {
+			w.SetSink(exporter.WindowSink(job, func(err error) {
+				fmt.Fprintf(os.Stderr, "itpsim: metrics export (%s): %v\n", job, err)
+			}))
+		}
+		reg.PublishExpvar("itpsim." + job)
+	}
+
 	if *tracePath == "" && len(names) > 1 {
 		if *smtPartner != "" {
 			fatal(fmt.Errorf("-smt requires a single -workload"))
 		}
-		runBatch(cat, cfg, hopts, names, *warmup, *measure)
+		runBatch(cat, cfg, hopts, names, *warmup, *measure, attachMetrics)
 		return
 	}
 
@@ -175,6 +245,7 @@ func main() {
 				return nil, harness.Permanent(err)
 			}
 			jc.Attach(m)
+			attachMetrics(m, ls[0])
 			res, err := m.RunWarmup(streams, *warmup, *measure)
 			if err != nil {
 				return nil, err
@@ -199,7 +270,7 @@ func main() {
 // workload, a compact summary table, and an exit status reflecting
 // whether every job succeeded.
 func runBatch(cat *workload.Catalog, cfg config.SystemConfig, hopts harness.Options,
-	names []string, warmup, measure uint64) {
+	names []string, warmup, measure uint64, attachMetrics func(*sim.Machine, string)) {
 	jobs := make([]harness.Job[*stats.Sim], len(names))
 	for i, name := range names {
 		name := name
@@ -217,6 +288,7 @@ func runBatch(cat *workload.Catalog, cfg config.SystemConfig, hopts harness.Opti
 					return nil, harness.Permanent(err)
 				}
 				jc.Attach(m)
+				attachMetrics(m, name)
 				res, err := m.RunWarmup([]workload.Stream{spec.NewStream()}, warmup, measure)
 				if err != nil {
 					return nil, err

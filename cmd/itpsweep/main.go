@@ -20,6 +20,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
 	"runtime"
 	"strconv"
@@ -28,6 +30,7 @@ import (
 
 	"itpsim/internal/config"
 	"itpsim/internal/harness"
+	"itpsim/internal/metrics"
 	"itpsim/internal/sim"
 	"itpsim/internal/stats"
 	"itpsim/internal/workload"
@@ -78,6 +81,10 @@ func main() {
 		warmup    = flag.Uint64("warmup", 500_000, "warmup instructions")
 		measure   = flag.Uint64("n", 1_500_000, "measured instructions")
 
+		metricsOut    = flag.String("metrics-out", "", "write per-window metrics series (JSON lines, all jobs share the file) to this file")
+		metricsWindow = flag.Uint64("metrics-window", 0, "metrics sampling window in retired instructions (0 = each job's adaptive controller window when one exists, else 1000)")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
+
 		retries     = flag.Int("retries", 0, "retry attempts for transiently failed jobs")
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
 		checkpoint  = flag.String("checkpoint", "", "JSON-lines checkpoint journal; completed jobs are skipped on re-run")
@@ -114,6 +121,75 @@ func main() {
 
 	cat := workload.NewCatalog(120, 20)
 
+	// Observability: one shared JSONL series for the whole grid (lines are
+	// tagged with the job label) and an optional pprof/expvar server.
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "itpsweep: pprof server:", err)
+			}
+		}()
+	}
+	var exporter *metrics.JSONL
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "itpsweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		exporter = metrics.NewJSONL(f)
+		baseCfg := config.Default()
+		baseCfg.STLBPolicy = *stlbPol
+		baseCfg.L2CPolicy = *l2cPol
+		baseCfg.LLCPolicy = *llcPol
+		cfgJSON, _ := baseCfg.MarshalPretty()
+		manifestWindow := *metricsWindow
+		if manifestWindow == 0 {
+			manifestWindow = metrics.DefaultWindow
+			if baseCfg.L2CPolicy == "xptp" && baseCfg.XPTP.WindowInstr != 0 {
+				manifestWindow = baseCfg.XPTP.WindowInstr
+			}
+		}
+		if err := exporter.Manifest(metrics.Manifest{
+			Tool:        "itpsweep",
+			Git:         metrics.GitDescribe(),
+			Time:        time.Now().UTC().Format(time.RFC3339),
+			ConfigHash:  metrics.ConfigHash(cfgJSON),
+			WindowInstr: manifestWindow,
+			Policies:    map[string]string{"stlb": *stlbPol, "l2c": *l2cPol, "llc": *llcPol},
+			Workloads:   names,
+			Extra:       map[string]string{"param": *param, "values": *values},
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "itpsweep:", err)
+			os.Exit(1)
+		}
+	}
+	attachMetrics := func(m *sim.Machine, job string) {
+		if exporter == nil && *pprofAddr == "" {
+			return
+		}
+		// 0 = align the sampler with this job's adaptive controller, so each
+		// exported window carries the decision that window produced (sweeps
+		// over xptp.window get per-job alignment this way).
+		mw := *metricsWindow
+		if mw == 0 {
+			if c := m.Controller(); c != nil {
+				mw = c.WindowInstr()
+			} else {
+				mw = metrics.DefaultWindow
+			}
+		}
+		reg := metrics.NewRegistry()
+		w := m.InstrumentMetrics(reg, mw)
+		if exporter != nil {
+			w.SetSink(exporter.WindowSink(job, func(err error) {
+				fmt.Fprintf(os.Stderr, "itpsweep: metrics export (%s): %v\n", job, err)
+			}))
+		}
+		reg.PublishExpvar("itpsweep." + job)
+	}
+
 	// One harness job per (value, workload) point; the whole grid runs
 	// supervised and failures cost single points, not the sweep.
 	type point struct {
@@ -146,6 +222,7 @@ func main() {
 						return nil, harness.Permanent(err)
 					}
 					jc.Attach(m)
+					attachMetrics(m, fmt.Sprintf("%s=%g/%s", *param, v, name))
 					res, err := m.RunWarmup([]workload.Stream{spec.NewStream()}, *warmup, *measure)
 					if err != nil {
 						return nil, err

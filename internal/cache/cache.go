@@ -11,6 +11,7 @@ import (
 
 	"itpsim/internal/arch"
 	"itpsim/internal/config"
+	"itpsim/internal/metrics"
 	"itpsim/internal/prefetch"
 	"itpsim/internal/replacement"
 	"itpsim/internal/stats"
@@ -51,6 +52,15 @@ type Cache struct {
 	Writebacks     uint64
 	PrefetchIssued uint64
 	PrefetchUseful uint64
+
+	// Observability counters (nil — and therefore free — until
+	// Instrument attaches a registry). The PTE-eviction counters are the
+	// signal xPTP's per-window telemetry is built from.
+	evictionsCtr    *metrics.Counter
+	evictPTECtr     *metrics.Counter
+	evictDataPTECtr *metrics.Counter
+	fillsCtr        *metrics.Counter
+	writebacksCtr   *metrics.Counter
 }
 
 // New creates a cache level. next is the level misses go to; st is the
@@ -87,6 +97,18 @@ func (c *Cache) SetPrefetcher(p prefetch.Prefetcher) { c.prefetcher = p }
 
 // SetWriteback attaches the dirty-eviction sink (normally DRAM bandwidth).
 func (c *Cache) SetWriteback(fn func(now uint64, addr arch.Addr)) { c.writebackFn = fn }
+
+// Instrument attaches observability counters from the registry under the
+// given prefix (e.g. "l2c"): fills, evictions (total, PTE-holding, and
+// data-PTE-holding — the blocks xPTP protects), and writebacks. A nil
+// registry leaves the counters nil and every update a no-op.
+func (c *Cache) Instrument(reg *metrics.Registry, prefix string) {
+	c.fillsCtr = reg.Counter(prefix + ".fills")
+	c.evictionsCtr = reg.Counter(prefix + ".evictions")
+	c.evictPTECtr = reg.Counter(prefix + ".evict.pte")
+	c.evictDataPTECtr = reg.Counter(prefix + ".evict.data_pte")
+	c.writebacksCtr = reg.Counter(prefix + ".writebacks")
+}
 
 func (c *Cache) setFor(block uint64) int { return int(block & c.setMask) }
 
@@ -149,13 +171,22 @@ func (c *Cache) fill(si int, acc *arch.Access) int {
 	way := c.policy.Victim(si, set, acc)
 	if set[way].Valid {
 		c.policy.OnEvict(si, set, way)
+		c.evictionsCtr.Inc()
+		if set[way].IsPTE {
+			c.evictPTECtr.Inc()
+		}
+		if set[way].IsDataPTE {
+			c.evictDataPTECtr.Inc()
+		}
 		if set[way].Dirty {
 			c.Writebacks++
+			c.writebacksCtr.Inc()
 			if c.writebackFn != nil {
 				c.writebackFn(0, arch.Addr(set[way].Tag)<<arch.BlockBits)
 			}
 		}
 	}
+	c.fillsCtr.Inc()
 	line := &set[way]
 	stack := line.Stack // preserve the permutation invariant
 	*line = replacement.Line{

@@ -108,6 +108,11 @@ type Controller struct {
 	// Window tallies for reporting.
 	EnabledWindows  uint64
 	DisabledWindows uint64
+
+	// decisionHook, when set, observes every window decision at the
+	// moment it is made (before the miss counter resets) — the metrics
+	// layer uses it to record enable/disable transitions per window.
+	decisionHook func(enabled bool, misses int)
 }
 
 // NewController builds the controller. T1 <= 0 pins xPTP on.
@@ -138,9 +143,23 @@ func (c *Controller) OnRetire(n uint64) {
 		} else {
 			c.DisabledWindows++
 		}
+		if c.decisionHook != nil {
+			c.decisionHook(c.useXPTP, c.missCount)
+		}
 		c.missCount = 0
 	}
 }
+
+// SetDecisionHook registers fn to observe every window decision as it is
+// made; misses is the STLB-miss count of the window just judged.
+func (c *Controller) SetDecisionHook(fn func(enabled bool, misses int)) { c.decisionHook = fn }
+
+// WindowInstr returns the controller's window size in retired
+// instructions.
+func (c *Controller) WindowInstr() uint64 { return c.windowInstr }
+
+// T1 returns the controller's STLB-miss threshold.
+func (c *Controller) T1() int { return c.t1 }
 
 // Enabled reports whether xPTP's protecting eviction is active.
 func (c *Controller) Enabled() bool { return c.useXPTP }

@@ -1,0 +1,273 @@
+// Package metrics is the simulator's low-overhead observability layer: a
+// registry of counters, gauges, and histograms with allocation-free
+// hot-path updates, a windowed time-series sampler keyed to retired
+// instructions (the paper's 1000-instruction adaptive window, Section
+// 4.3.1), and a JSONL exporter that makes every emitted series
+// self-describing via a run manifest.
+//
+// Design rules:
+//
+//   - Hot-path updates (Counter.Inc/Add, Histogram.Observe) are single
+//     atomic operations on pre-resolved pointers — no map lookups, no
+//     locks, no allocation.
+//   - Every metric type is nil-safe: methods on a nil *Counter, *Gauge,
+//     or *Histogram are no-ops, so instrumented components pay only an
+//     inlined nil check when no registry is attached. This IS the no-op
+//     registry the overhead budget is measured against.
+//   - Registration (Registry.Counter et al.) is the cold path and may
+//     lock; it is idempotent so concurrent components can share metrics
+//     by name.
+package metrics
+
+import (
+	"expvar"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWindow is the windowed sampler's default size in retired
+// instructions — the paper's 1000-instruction adaptive window.
+const DefaultWindow = 1000
+
+// Counter is a monotonically increasing uint64 metric. The zero value is
+// ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins uint64 metric. A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v uint64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the last stored value (0 for a nil gauge).
+func (g *Gauge) Value() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates a distribution in power-of-two buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+// Updates are lock-free; a nil *Histogram is a no-op.
+type Histogram struct {
+	buckets [65]atomic.Uint64
+	sum     atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns an upper bound for the p-quantile (0..1) using the
+// bucket boundaries: the smallest power of two below which at least a
+// fraction p of observations fall.
+func (h *Histogram) Quantile(p float64) uint64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	target := uint64(p * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > target {
+			if i == 0 {
+				return 0
+			}
+			if i >= 64 {
+				return ^uint64(0)
+			}
+			return 1 << i
+		}
+	}
+	return ^uint64(0) // unreachable
+}
+
+// Registry holds named metrics. Registration is idempotent and safe for
+// concurrent use; the returned pointers are the hot-path handles. A nil
+// *Registry returns nil metrics from every constructor, turning all
+// downstream instrumentation into no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil (a no-op counter) when r is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a point-in-time copy of every metric's value:
+// counters and gauges as raw values, histograms as {count, sum, mean}.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		out[name] = map[string]any{"count": h.Count(), "sum": h.Sum(), "mean": h.Mean()}
+	}
+	return out
+}
+
+// Names returns the sorted names of all registered metrics (test/report
+// aid).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PublishExpvar exposes the registry's snapshot as an expvar variable so
+// long campaigns can be inspected over -pprof's debug endpoint
+// (/debug/vars). Publishing the same name twice is a no-op rather than
+// the expvar panic.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

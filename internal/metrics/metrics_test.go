@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"expvar"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", c.Value())
+	}
+
+	var g *Gauge
+	g.Set(9)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge Value = %d, want 0", g.Value())
+	}
+
+	var h *Histogram
+	h.Observe(3)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("nil histogram not a no-op: count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestNilRegistryReturnsNilMetrics(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	if r.Snapshot() != nil || r.Names() != nil {
+		t.Fatal("nil registry snapshot/names must be nil")
+	}
+	r.PublishExpvar("itpsim.test.nil") // must not panic
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("stlb.miss")
+	b := r.Counter("stlb.miss")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("aliased counter = %d, want 1", b.Value())
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("same name must return the same gauge")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("same name must return the same histogram")
+	}
+}
+
+func TestRegistrySnapshotAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(3)
+	r.Gauge("a.gauge").Set(5)
+	r.Histogram("c.hist").Observe(10)
+
+	names := r.Names()
+	want := []string{"a.gauge", "b.count", "c.hist"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+
+	snap := r.Snapshot()
+	if snap["b.count"] != uint64(3) {
+		t.Fatalf("snapshot counter = %v, want 3", snap["b.count"])
+	}
+	if snap["a.gauge"] != uint64(5) {
+		t.Fatalf("snapshot gauge = %v, want 5", snap["a.gauge"])
+	}
+	h, ok := snap["c.hist"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot histogram = %T, want map", snap["c.hist"])
+	}
+	if h["count"] != uint64(1) || h["sum"] != uint64(10) {
+		t.Fatalf("snapshot histogram = %v", h)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 1110 {
+		t.Fatalf("sum = %d, want 1110", h.Sum())
+	}
+	if got, want := h.Mean(), 1110.0/7.0; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	// Median of {0,1,2,3,4,100,1000} is 3, whose bucket upper bound is 4.
+	if q := h.Quantile(0.5); q != 4 {
+		t.Fatalf("p50 = %d, want bucket bound 4", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("p0 = %d, want 0 (value 0 lands in bucket 0)", q)
+	}
+	if q := h.Quantile(1); q != 1024 {
+		t.Fatalf("p100 = %d, want bucket bound 1024", q)
+	}
+}
+
+func TestHistogramQuantileExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(^uint64(0)) // tops out bucket 64
+	if q := h.Quantile(0.5); q != ^uint64(0) {
+		t.Fatalf("max-value quantile = %d, want MaxUint64", q)
+	}
+	var empty Histogram
+	if q := empty.Quantile(0.9); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	const name = "itpsim.test.registry"
+	r.PublishExpvar(name)
+	r.PublishExpvar(name) // second publish must not panic
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+}
+
+// TestConcurrentCounters exercises the hot path from many goroutines; run
+// under -race this validates the atomic increment contract.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Mix registration (cold path) and increments (hot path).
+			c := r.Counter("shared")
+			h := r.Histogram("lat")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	// Concurrent reader: snapshots must be race-free while writers run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("shared").Value(); got != goroutines*perG {
+		t.Fatalf("shared counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("lat").Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// WindowRecord is one closed instruction window of the time series. The
+// generic part (retired/cycles/IPC plus tracked-counter deltas) is filled
+// by Windows.Close; the simulator's annotate callback adds the derived
+// headline series the paper's adaptive mechanism is driven by.
+type WindowRecord struct {
+	// Window is the zero-based window index.
+	Window uint64 `json:"window"`
+	// Retired is the cumulative retired-instruction count at close.
+	Retired uint64 `json:"retired"`
+	// Instr is the number of instructions retired inside this window.
+	Instr uint64 `json:"instr"`
+	// Cycles is the number of cycles elapsed inside this window.
+	Cycles uint64 `json:"cycles"`
+	// IPC is Instr/Cycles for this window alone.
+	IPC float64 `json:"ipc"`
+	// Counters holds the per-window delta of every tracked counter.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+
+	// Derived headline series (set by the simulator's annotate hook).
+	STLBMPKIInstr float64 `json:"stlb_mpki_instr"`
+	STLBMPKIData  float64 `json:"stlb_mpki_data"`
+	// XPTPEnabled mirrors the adaptive controller's status bit for the
+	// window that just closed; nil when no controller is attached.
+	XPTPEnabled *bool `json:"xptp_enabled,omitempty"`
+}
+
+// trackedCounter pairs a counter with its last-sampled value.
+type trackedCounter struct {
+	name string
+	c    *Counter
+	last uint64
+}
+
+// Windows samples tracked counters every Size retired instructions and
+// turns the deltas into a WindowRecord series. Closing is the cold path
+// (once per window) and is mutex-protected so a supervisor thread can
+// read recent history race-free while the simulation runs; the per-retire
+// boundary check stays on the caller's side (a single compare against
+// NextBoundary).
+type Windows struct {
+	size uint64
+
+	mu      sync.Mutex
+	tracked []trackedCounter
+	records []WindowRecord
+	dropped uint64 // records discarded by the retention cap
+	retain  int    // max records kept; <= 0 means unbounded
+	sink    func(*WindowRecord)
+
+	index       uint64
+	lastRetired uint64
+	lastCycles  uint64
+}
+
+// NewWindows returns a sampler with the given window size in retired
+// instructions (0 selects DefaultWindow).
+func NewWindows(size uint64) *Windows {
+	if size == 0 {
+		size = DefaultWindow
+	}
+	return &Windows{size: size}
+}
+
+// Size returns the window size in retired instructions.
+func (w *Windows) Size() uint64 { return w.size }
+
+// Track adds a counter to the per-window delta set. Call before the run
+// starts.
+func (w *Windows) Track(name string, c *Counter) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tracked = append(w.tracked, trackedCounter{name: name, c: c, last: c.Value()})
+}
+
+// SetSink streams every closed window to fn (e.g. a JSONL writer) and
+// caps in-memory retention at a small recent-history ring; without a sink
+// the full series is retained for the caller to read back.
+func (w *Windows) SetSink(fn func(*WindowRecord)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.sink = fn
+	if w.retain == 0 {
+		w.retain = 64
+	}
+}
+
+// SetRetain bounds the in-memory record history to n entries (<= 0 means
+// unbounded).
+func (w *Windows) SetRetain(n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.retain = n
+}
+
+// Close ends the current window at the given cumulative retired count and
+// cycle, computing counter deltas; annotate (may be nil) can decorate the
+// record before it is stored and streamed.
+func (w *Windows) Close(retired, cycles uint64, annotate func(*WindowRecord)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec := WindowRecord{
+		Window:  w.index,
+		Retired: retired,
+		Instr:   retired - w.lastRetired,
+		Cycles:  cycles - w.lastCycles,
+	}
+	if rec.Cycles > 0 {
+		rec.IPC = float64(rec.Instr) / float64(rec.Cycles)
+	}
+	if len(w.tracked) > 0 {
+		rec.Counters = make(map[string]uint64, len(w.tracked))
+		for i := range w.tracked {
+			t := &w.tracked[i]
+			v := t.c.Value()
+			rec.Counters[t.name] = v - t.last
+			t.last = v
+		}
+	}
+	if annotate != nil {
+		annotate(&rec)
+	}
+	w.index++
+	w.lastRetired = retired
+	w.lastCycles = cycles
+	w.records = append(w.records, rec)
+	if w.retain > 0 && len(w.records) > w.retain {
+		drop := len(w.records) - w.retain
+		w.dropped += uint64(drop)
+		w.records = append(w.records[:0], w.records[drop:]...)
+	}
+	if w.sink != nil {
+		w.sink(&rec)
+	}
+}
+
+// Records returns a copy of the retained window series.
+func (w *Windows) Records() []WindowRecord {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]WindowRecord, len(w.records))
+	copy(out, w.records)
+	return out
+}
+
+// Closed returns how many windows have been closed so far.
+func (w *Windows) Closed() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.index
+}
+
+// Recent returns up to n of the most recently closed windows (oldest
+// first). Safe to call from any goroutine while the run is in flight —
+// this is what stall-diagnostic snapshots use.
+func (w *Windows) Recent(n int) []WindowRecord {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n > len(w.records) {
+		n = len(w.records)
+	}
+	out := make([]WindowRecord, n)
+	copy(out, w.records[len(w.records)-n:])
+	return out
+}
+
+// RecentString formats the last n windows compactly for diagnostic dumps.
+func (w *Windows) RecentString(n int) string {
+	recent := w.Recent(n)
+	if len(recent) == 0 {
+		return "(no windows closed yet)"
+	}
+	var b strings.Builder
+	for i, rec := range recent {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "w%d{ipc=%.3f stlb-mpki=%.2f/%.2f", rec.Window, rec.IPC, rec.STLBMPKIInstr, rec.STLBMPKIData)
+		if rec.XPTPEnabled != nil {
+			fmt.Fprintf(&b, " xptp=%v", *rec.XPTPEnabled)
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
+}

@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWindowsDefaultSize(t *testing.T) {
+	if got := NewWindows(0).Size(); got != DefaultWindow {
+		t.Fatalf("default size = %d, want %d", got, DefaultWindow)
+	}
+	if got := NewWindows(500).Size(); got != 500 {
+		t.Fatalf("size = %d, want 500", got)
+	}
+}
+
+func TestWindowsDeltasAndIPC(t *testing.T) {
+	r := NewRegistry()
+	miss := r.Counter("miss")
+	miss.Add(5) // pre-run value must not leak into the first window
+
+	w := NewWindows(1000)
+	w.Track("miss", miss)
+
+	miss.Add(7)
+	w.Close(1000, 2000, nil)
+	miss.Add(3)
+	w.Close(2000, 2500, nil)
+
+	recs := w.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	r0, r1 := recs[0], recs[1]
+	if r0.Window != 0 || r0.Retired != 1000 || r0.Instr != 1000 || r0.Cycles != 2000 {
+		t.Fatalf("window 0 = %+v", r0)
+	}
+	if r0.IPC != 0.5 {
+		t.Fatalf("window 0 IPC = %v, want 0.5", r0.IPC)
+	}
+	if r0.Counters["miss"] != 7 {
+		t.Fatalf("window 0 miss delta = %d, want 7 (pre-run value leaked)", r0.Counters["miss"])
+	}
+	if r1.Window != 1 || r1.Instr != 1000 || r1.Cycles != 500 || r1.IPC != 2.0 {
+		t.Fatalf("window 1 = %+v", r1)
+	}
+	if r1.Counters["miss"] != 3 {
+		t.Fatalf("window 1 miss delta = %d, want 3", r1.Counters["miss"])
+	}
+	if w.Closed() != 2 {
+		t.Fatalf("Closed = %d, want 2", w.Closed())
+	}
+}
+
+func TestWindowsAnnotate(t *testing.T) {
+	w := NewWindows(100)
+	enabled := true
+	w.Close(100, 100, func(rec *WindowRecord) {
+		rec.STLBMPKIInstr = 1.5
+		rec.XPTPEnabled = &enabled
+	})
+	recs := w.Records()
+	if recs[0].STLBMPKIInstr != 1.5 {
+		t.Fatalf("annotate lost MPKI: %+v", recs[0])
+	}
+	if recs[0].XPTPEnabled == nil || !*recs[0].XPTPEnabled {
+		t.Fatalf("annotate lost xPTP bit: %+v", recs[0])
+	}
+}
+
+func TestWindowsRetentionAndSink(t *testing.T) {
+	w := NewWindows(10)
+	var streamed []uint64
+	w.SetSink(func(rec *WindowRecord) { streamed = append(streamed, rec.Window) })
+	w.SetRetain(3)
+	for i := uint64(1); i <= 8; i++ {
+		w.Close(i*10, i*10, nil)
+	}
+	if len(streamed) != 8 {
+		t.Fatalf("sink saw %d windows, want all 8", len(streamed))
+	}
+	recs := w.Records()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d records, want 3", len(recs))
+	}
+	if recs[0].Window != 5 || recs[2].Window != 7 {
+		t.Fatalf("retained windows %d..%d, want 5..7", recs[0].Window, recs[2].Window)
+	}
+	// Deltas must still chain correctly across dropped records.
+	if recs[2].Retired != 80 || recs[2].Instr != 10 {
+		t.Fatalf("window 7 = %+v", recs[2])
+	}
+}
+
+func TestWindowsRecent(t *testing.T) {
+	w := NewWindows(10)
+	if got := w.RecentString(3); !strings.Contains(got, "no windows") {
+		t.Fatalf("empty RecentString = %q", got)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		w.Close(i*10, i*20, nil)
+	}
+	recent := w.Recent(2)
+	if len(recent) != 2 || recent[0].Window != 2 || recent[1].Window != 3 {
+		t.Fatalf("Recent(2) = %+v", recent)
+	}
+	if got := w.Recent(100); len(got) != 4 {
+		t.Fatalf("Recent(100) = %d records, want 4", len(got))
+	}
+	s := w.RecentString(2)
+	if !strings.Contains(s, "w2{") || !strings.Contains(s, "w3{") || !strings.Contains(s, " | ") {
+		t.Fatalf("RecentString = %q", s)
+	}
+}
+
+// TestWindowsConcurrentReaders mirrors the watchdog's access pattern: a
+// supervisor goroutine reads recent history while the run loop closes
+// windows. Meaningful under -race.
+func TestWindowsConcurrentReaders(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	w := NewWindows(10)
+	w.Track("x", c)
+	w.SetRetain(8)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = w.Recent(5)
+				_ = w.RecentString(3)
+				_ = w.Closed()
+			}
+		}
+	}()
+	for i := uint64(1); i <= 500; i++ {
+		c.Add(2)
+		w.Close(i*10, i*12, nil)
+	}
+	close(stop)
+	wg.Wait()
+	if w.Closed() != 500 {
+		t.Fatalf("Closed = %d, want 500", w.Closed())
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	if err := j.Manifest(Manifest{
+		Tool:        "itpsim",
+		Git:         "deadbeef",
+		ConfigHash:  ConfigHash([]byte("cfg")),
+		WindowInstr: 1000,
+		Policies:    map[string]string{"stlb": "itp"},
+		Workloads:   []string{"srv_000"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWindows(1000)
+	w.SetSink(j.WindowSink("srv_000", nil))
+	w.Close(1000, 4000, nil)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var man map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &man); err != nil {
+		t.Fatal(err)
+	}
+	if man["type"] != "manifest" || man["tool"] != "itpsim" || man["window_instr"] != float64(1000) {
+		t.Fatalf("manifest line = %v", man)
+	}
+	if len(man["config_hash"].(string)) != 64 {
+		t.Fatalf("config hash = %v", man["config_hash"])
+	}
+	var win map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &win); err != nil {
+		t.Fatal(err)
+	}
+	if win["type"] != "window" || win["job"] != "srv_000" || win["retired"] != float64(1000) || win["ipc"] != 0.25 {
+		t.Fatalf("window line = %v", win)
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ budget int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, errShort
+	}
+	f.budget -= len(p)
+	return len(p), nil
+}
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "disk full" }
+
+func TestWindowSinkStopsAfterError(t *testing.T) {
+	j := NewJSONL(&failWriter{budget: 1})
+	var calls int
+	sink := j.WindowSink("job", func(error) { calls++ })
+	rec := &WindowRecord{Window: 0}
+	sink(rec)
+	sink(rec)
+	sink(rec)
+	if calls != 1 {
+		t.Fatalf("onErr called %d times, want exactly once", calls)
+	}
+}
+
+func TestGitDescribeNeverEmpty(t *testing.T) {
+	if GitDescribe() == "" {
+		t.Fatal("GitDescribe must return a placeholder, not empty")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"itpsim/internal/arch"
 	"itpsim/internal/cache"
 	"itpsim/internal/config"
+	"itpsim/internal/metrics"
 	"itpsim/internal/stats"
 	"itpsim/internal/vm"
 )
@@ -104,6 +105,23 @@ type Walker struct {
 	walkers    []uint64 // busy-until cycle per walker
 	mem        cache.Level
 	sim        *stats.Sim
+
+	// Observability (nil — and therefore free — until Instrument
+	// attaches a registry). walkCtr is indexed by arch.Class.
+	walkCtr [2]*metrics.Counter
+	walkLat *metrics.Histogram
+	pscHits *metrics.Counter
+}
+
+// Instrument attaches observability counters from the registry under the
+// given prefix (e.g. "ptw"): completed walks by translation class, the
+// walk-latency distribution, and page-structure-cache hits. A nil
+// registry leaves everything a no-op.
+func (w *Walker) Instrument(reg *metrics.Registry, prefix string) {
+	w.walkCtr[arch.InstrClass] = reg.Counter(prefix + ".walk.instr")
+	w.walkCtr[arch.DataClass] = reg.Counter(prefix + ".walk.data")
+	w.walkLat = reg.Histogram(prefix + ".walk_latency")
+	w.pscHits = reg.Counter(prefix + ".psc_hits")
 }
 
 // New builds a walker that issues PTE references into mem (normally the
@@ -154,6 +172,7 @@ func (w *Walker) Walk(now uint64, va arch.Addr, tr *vm.Translation, class arch.C
 			if w.sim != nil {
 				w.sim.PSCHits[pscIndex(level)]++
 			}
+			w.pscHits.Inc()
 			// Skip all steps at or above this level.
 			for firstStep < tr.NumSteps && tr.Steps[firstStep].Level >= level {
 				firstStep++
@@ -186,5 +205,7 @@ func (w *Walker) Walk(now uint64, va arch.Addr, tr *vm.Translation, class arch.C
 		w.sim.PageWalks[class]++
 		w.sim.WalkLatSum[class] += t - now
 	}
+	w.walkCtr[class].Inc()
+	w.walkLat.Observe(t - now)
 	return t, memRefs
 }

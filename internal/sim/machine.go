@@ -20,6 +20,7 @@ import (
 	"itpsim/internal/config"
 	"itpsim/internal/core"
 	"itpsim/internal/dram"
+	"itpsim/internal/metrics"
 	"itpsim/internal/prefetch"
 	"itpsim/internal/ptw"
 	"itpsim/internal/replacement"
@@ -71,6 +72,15 @@ type Machine struct {
 	diag atomic.Pointer[string]
 	// threads is the per-run pipeline state, only touched by the run loop.
 	threads []*threadCtx
+
+	// met is the observability attachment (nil until InstrumentMetrics);
+	// the two counters are cached on the machine so the translate hot
+	// path pays one nil-safe increment, not a struct indirection.
+	met                               *machineMetrics
+	metSTLBMissInstr, metSTLBMissData *metrics.Counter
+	// maxRetireCycle is the latest retire cycle seen across threads —
+	// the cycle clock the windowed sampler stamps windows with.
+	maxRetireCycle uint64
 }
 
 // BoundSplit reports the fraction of dispatches limited by the front end.
@@ -248,6 +258,7 @@ func (m *Machine) translate(now uint64, va arch.Addr, class arch.Class, pc arch.
 		return physFrom(ppn, bits, va), stlbDone, false
 	}
 	m.Stats.STLB.Record(bucket, false)
+	m.recordSTLBDemandMiss(bucket)
 	if m.ctrl != nil {
 		m.ctrl.OnSTLBMiss()
 	}
@@ -538,7 +549,15 @@ func (m *Machine) Snapshot() string {
 	if p := m.diag.Load(); p != nil {
 		snap = *p
 	}
-	return fmt.Sprintf("progress=%d %s", m.retiredTotal.Load(), snap)
+	s := fmt.Sprintf("progress=%d %s", m.retiredTotal.Load(), snap)
+	// Append recent window history when the metrics layer is attached so
+	// a stall dump shows the phase the machine was in, not just its
+	// terminal occupancy state. (m.met is set before Run starts and the
+	// sampler is internally synchronised, so this is race-free.)
+	if m.met != nil {
+		s += " recent-windows: " + m.met.windows.RecentString(5)
+	}
+	return s
 }
 
 // SetDebugIfetchPenalty scales instruction-translation latency (test hook).

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"itpsim/internal/metrics"
+	"itpsim/internal/stats"
+	"itpsim/internal/tlb"
+)
+
+// machineMetrics is the machine's attachment to the observability layer:
+// the registry handles the hot paths increment, the windowed sampler that
+// turns them into a per-1000-instruction time series, and the adaptive
+// controller's last decision so each window record carries the xPTP
+// status bit that governed it.
+type machineMetrics struct {
+	reg     *metrics.Registry
+	windows *metrics.Windows
+	// next is the retired-instruction count at which the current window
+	// closes; cached here so the per-retire check is one compare.
+	next uint64
+
+	// Demand STLB misses by translation class, incremented at exactly
+	// the site that feeds the adaptive controller (Machine.translate),
+	// so per-window deltas match Controller decisions one for one.
+	stlbMissInstr *metrics.Counter
+	stlbMissData  *metrics.Counter
+
+	// l2cEvictDataPTE mirrors the L2C's data-PTE eviction counter for
+	// per-window annotation.
+	l2cEvictDataPTE *metrics.Counter
+
+	// xptpTransitions counts enable<->disable flips of the adaptive
+	// controller; xptpEnabled is its most recent decision.
+	xptpTransitions *metrics.Counter
+	xptpEnabled     bool
+}
+
+// InstrumentMetrics attaches an observability registry to the machine and
+// returns the windowed sampler it will feed. windowInstr is the sampling
+// window in retired instructions (0 selects metrics.DefaultWindow, the
+// paper's 1000-instruction adaptive window). Must be called before Run;
+// the returned sampler is safe to read from other goroutines while the
+// run is in flight.
+//
+// The registry gains, among others:
+//
+//	stlb.demand_miss.{instr,data}   demand STLB misses by class
+//	{itlb,dtlb,stlb}.{hit,miss,evict}.{instr,data}
+//	{l2c,llc}.{fills,evictions,evict.pte,evict.data_pte,writebacks}
+//	ptw.walk.{instr,data}, ptw.walk_latency, ptw.psc_hits
+//	xptp.transitions                adaptive enable/disable flips
+func (m *Machine) InstrumentMetrics(reg *metrics.Registry, windowInstr uint64) *metrics.Windows {
+	mm := &machineMetrics{reg: reg, windows: metrics.NewWindows(windowInstr)}
+
+	mm.stlbMissInstr = reg.Counter("stlb.demand_miss.instr")
+	mm.stlbMissData = reg.Counter("stlb.demand_miss.data")
+	mm.l2cEvictDataPTE = reg.Counter("l2c.evict.data_pte")
+
+	m.itlb.Instrument(reg, "itlb")
+	m.dtlb.Instrument(reg, "dtlb")
+	switch s := m.stlb.(type) {
+	case *tlb.TLB:
+		s.Instrument(reg, "stlb")
+	case *tlb.Split:
+		s.Instrument(reg, "stlb")
+	}
+	m.l2c.Instrument(reg, "l2c")
+	m.llc.Instrument(reg, "llc")
+	m.walker.Instrument(reg, "ptw")
+
+	mm.windows.Track("stlb.demand_miss.instr", mm.stlbMissInstr)
+	mm.windows.Track("stlb.demand_miss.data", mm.stlbMissData)
+	mm.windows.Track("l2c.evict.pte", reg.Counter("l2c.evict.pte"))
+	mm.windows.Track("l2c.evict.data_pte", mm.l2cEvictDataPTE)
+	mm.windows.Track("ptw.walk.instr", reg.Counter("ptw.walk.instr"))
+	mm.windows.Track("ptw.walk.data", reg.Counter("ptw.walk.data"))
+
+	if m.ctrl != nil {
+		mm.xptpTransitions = reg.Counter("xptp.transitions")
+		mm.xptpEnabled = m.ctrl.Enabled()
+		m.ctrl.SetDecisionHook(func(enabled bool, _ int) {
+			if enabled != mm.xptpEnabled {
+				mm.xptpTransitions.Inc()
+			}
+			mm.xptpEnabled = enabled
+		})
+	}
+
+	mm.next = mm.windows.Size()
+	m.metSTLBMissInstr = mm.stlbMissInstr
+	m.metSTLBMissData = mm.stlbMissData
+	m.met = mm
+	return mm.windows
+}
+
+// Metrics returns the attached windowed sampler, or nil.
+func (m *Machine) Metrics() *metrics.Windows {
+	if m.met == nil {
+		return nil
+	}
+	return m.met.windows
+}
+
+// closeMetricsWindow ends the current sampling window at the given
+// cumulative retired count, annotating the record with the derived
+// headline series and the adaptive controller's status bit. Called from
+// the run loop only.
+func (m *Machine) closeMetricsWindow(retired uint64) {
+	mm := m.met
+	mm.windows.Close(retired, m.maxRetireCycle, func(rec *metrics.WindowRecord) {
+		if rec.Instr > 0 {
+			k := 1000 / float64(rec.Instr)
+			rec.STLBMPKIInstr = float64(rec.Counters["stlb.demand_miss.instr"]) * k
+			rec.STLBMPKIData = float64(rec.Counters["stlb.demand_miss.data"]) * k
+		}
+		if m.ctrl != nil {
+			enabled := mm.xptpEnabled
+			rec.XPTPEnabled = &enabled
+		}
+	})
+	mm.next += mm.windows.Size()
+}
+
+// recordSTLBDemandMiss feeds the windowed series from the translate path;
+// it mirrors stats.Sim's STLB bucket accounting.
+func (m *Machine) recordSTLBDemandMiss(bucket stats.Bucket) {
+	if bucket == stats.BInstr {
+		m.metSTLBMissInstr.Inc()
+	} else {
+		m.metSTLBMissData.Inc()
+	}
+}

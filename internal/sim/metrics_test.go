@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/config"
+	"itpsim/internal/metrics"
+	"itpsim/internal/workload"
+)
+
+// twoPhaseStream builds a synthetic workload with a TLB-thrashing first
+// phase (every load strides to a fresh 4KB page across a range far larger
+// than the STLB reach) and a TLB-friendly second phase (all loads within
+// one page), each of n instructions. The code footprint stays tiny so the
+// STLB pressure is purely data-side.
+func twoPhaseStream(n int) *workload.Replay {
+	instrs := make([]workload.Instr, 0, 2*n)
+	const codeBase = 0x400000
+	const dataBase = 0x10000000
+	page := uint64(0)
+	for i := 0; i < n; i++ {
+		in := workload.Instr{PC: arch.Addr(codeBase + uint64(i%64)*4)}
+		if i%2 == 0 {
+			// New 4KB page every load over a ~16GB span: guaranteed
+			// STLB misses once warm.
+			in.LoadAddr = arch.Addr(dataBase + page*arch.PageSize4K)
+			page = (page + 1) % (1 << 22)
+		}
+		instrs = append(instrs, in)
+	}
+	for i := 0; i < n; i++ {
+		in := workload.Instr{PC: arch.Addr(codeBase + uint64(i%64)*4)}
+		if i%2 == 0 {
+			in.LoadAddr = arch.Addr(dataBase + uint64(i%16)*64)
+		}
+		instrs = append(instrs, in)
+	}
+	return &workload.Replay{Instrs: instrs}
+}
+
+// TestPhaseAdaptiveMetricsCorrespondence drives the adaptive xPTP
+// controller through a thrash->friendly phase change and checks that the
+// exported window series is a cycle-exact mirror of the controller's own
+// decisions: for every window, the recorded status bit equals the decision
+// the controller made from that window's recorded miss count, and the
+// series' enabled/disabled tallies equal the controller's.
+func TestPhaseAdaptiveMetricsCorrespondence(t *testing.T) {
+	const phase = 50_000
+	cfg := config.Default()
+	cfg.L2CPolicy = "xptp"
+	cfg.XPTP.T1 = 8
+	cfg.XPTP.WindowInstr = 1000
+
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	w := m.InstrumentMetrics(reg, cfg.XPTP.WindowInstr)
+	if _, err := m.Run([]workload.Stream{twoPhaseStream(phase)}, 2*phase); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := w.Records()
+	if len(recs) != 2*phase/1000 {
+		t.Fatalf("closed %d windows, want %d", len(recs), 2*phase/1000)
+	}
+
+	t1 := m.Controller().T1()
+	var enabled, disabled uint64
+	var sawEnabled, sawDisabled bool
+	for _, rec := range recs {
+		if rec.XPTPEnabled == nil {
+			t.Fatalf("window %d: missing xPTP status bit", rec.Window)
+		}
+		misses := rec.Counters["stlb.demand_miss.instr"] + rec.Counters["stlb.demand_miss.data"]
+		want := misses > uint64(t1)
+		if *rec.XPTPEnabled != want {
+			t.Fatalf("window %d: recorded xptp=%v but window saw %d misses (T1=%d): series and controller disagree",
+				rec.Window, *rec.XPTPEnabled, misses, t1)
+		}
+		if want {
+			enabled++
+			sawEnabled = true
+		} else {
+			disabled++
+			sawDisabled = true
+		}
+	}
+	// The phase change must actually exercise both sides of T1, otherwise
+	// the correspondence check proved nothing.
+	if !sawEnabled || !sawDisabled {
+		t.Fatalf("series never crossed T1 (enabled=%d disabled=%d): workload phases too weak", enabled, disabled)
+	}
+	if got := m.Stats.XPTPEnabledWindows; got != enabled {
+		t.Fatalf("controller counted %d enabled windows, series %d", got, enabled)
+	}
+	if got := m.Stats.XPTPDisabledWindows; got != disabled {
+		t.Fatalf("controller counted %d disabled windows, series %d", got, disabled)
+	}
+	if reg.Counter("xptp.transitions").Value() == 0 {
+		t.Fatal("no enable/disable transitions recorded across a phase change")
+	}
+}
+
+// TestMetricsWindowMisalignedSizes checks the series stays self-consistent
+// when the sampling window differs from the controller window (the status
+// bit then reflects the controller's latest decision, and deltas still
+// chain).
+func TestMetricsWindowMisalignedSizes(t *testing.T) {
+	cfg := config.Default()
+	cfg.L2CPolicy = "xptp"
+	cfg.XPTP.T1 = 8
+	cfg.XPTP.WindowInstr = 1000
+
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.InstrumentMetrics(metrics.NewRegistry(), 2500)
+	if _, err := m.Run([]workload.Stream{twoPhaseStream(20_000)}, 40_000); err != nil {
+		t.Fatal(err)
+	}
+	recs := w.Records()
+	if len(recs) != 40_000/2500 {
+		t.Fatalf("closed %d windows, want %d", len(recs), 40_000/2500)
+	}
+	var prev uint64
+	for _, rec := range recs {
+		if rec.Retired != prev+2500 || rec.Instr != 2500 {
+			t.Fatalf("window %d boundaries broken: %+v", rec.Window, rec)
+		}
+		prev = rec.Retired
+		if rec.XPTPEnabled == nil {
+			t.Fatalf("window %d: missing xPTP status bit", rec.Window)
+		}
+	}
+}
+
+// TestMachineCountersMirrorStats checks the registry's machine-level
+// counters agree with the legacy stats.Sim accounting over a real run.
+func TestMachineCountersMirrorStats(t *testing.T) {
+	cfg := config.Default()
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	m.InstrumentMetrics(reg, 0)
+	spec, err := workload.NewCatalog(4, 2).Get("srv_000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run([]workload.Stream{spec.NewStream()}, 100_000); err != nil {
+		t.Fatal(err)
+	}
+
+	walks := reg.Counter("ptw.walk.instr").Value() + reg.Counter("ptw.walk.data").Value()
+	statWalks := m.Stats.PageWalks[0] + m.Stats.PageWalks[1]
+	if walks != statWalks {
+		t.Fatalf("registry walks=%d, stats walks=%d", walks, statWalks)
+	}
+	if h := reg.Histogram("ptw.walk_latency"); h.Count() != statWalks {
+		t.Fatalf("walk-latency observations=%d, walks=%d", h.Count(), statWalks)
+	}
+	lat := reg.Histogram("ptw.walk_latency").Sum()
+	statLat := m.Stats.WalkLatSum[0] + m.Stats.WalkLatSum[1]
+	if lat != statLat {
+		t.Fatalf("registry walk latency=%d, stats=%d", lat, statLat)
+	}
+
+	// Demand STLB misses: the machine-level counters must equal the
+	// stats bucket misses (demand only; prefetch probes excluded).
+	miss := reg.Counter("stlb.demand_miss.instr").Value() + reg.Counter("stlb.demand_miss.data").Value()
+	statMiss := m.Stats.STLB.TotalMisses()
+	if miss != statMiss {
+		t.Fatalf("registry STLB misses=%d, stats=%d", miss, statMiss)
+	}
+	if m.Metrics() == nil {
+		t.Fatal("Metrics() accessor lost the sampler")
+	}
+}
+
+// TestSnapshotIncludesWindowHistory checks the watchdog-facing diagnostic
+// snapshot carries the recent window series once metrics are attached.
+func TestSnapshotIncludesWindowHistory(t *testing.T) {
+	cfg := config.Default()
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InstrumentMetrics(metrics.NewRegistry(), 1000)
+	spec, err := workload.NewCatalog(4, 2).Get("srv_000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run([]workload.Stream{spec.NewStream()}, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if want := "recent-windows:"; !strings.Contains(snap, want) {
+		t.Fatalf("Snapshot missing %q:\n%s", want, snap)
+	}
+	if !strings.Contains(snap, "ipc=") {
+		t.Fatalf("Snapshot window history empty:\n%s", snap)
+	}
+}

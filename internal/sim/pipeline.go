@@ -214,13 +214,23 @@ func (m *Machine) step(t *threadCtx) {
 
 	t.robRing[t.robPos] = rt
 	t.robPos = (t.robPos + 1) % len(t.robRing)
+	if rt > m.maxRetireCycle {
+		m.maxRetireCycle = rt
+	}
 
 	t.retired++
-	if m.retiredTotal.Add(1)&diagPublishMask == 0 {
+	rtot := m.retiredTotal.Add(1)
+	if rtot&diagPublishMask == 0 {
 		m.publishDiag()
 	}
 	if m.ctrl != nil {
 		m.ctrl.OnRetire(1)
+	}
+	// Close the metrics window after the controller has judged its own
+	// window, so the record carries the decision that this boundary
+	// produced (the windows are aligned when the sizes match).
+	if m.met != nil && rtot >= m.met.next {
+		m.closeMetricsWindow(rtot)
 	}
 	if t.retired >= t.budget {
 		t.done = true

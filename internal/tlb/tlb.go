@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"itpsim/internal/arch"
+	"itpsim/internal/metrics"
 )
 
 // Entry is one TLB entry plus the metadata iTP adds: the Type bit
@@ -135,6 +136,13 @@ type TLB struct {
 	sets    [][]Entry
 	setMask uint64
 	policy  Policy
+
+	// Observability counters (nil — and therefore free — until
+	// Instrument attaches a registry).
+	hitInstr, hitData   *metrics.Counter
+	missInstr, missData *metrics.Counter
+	evictInstr          *metrics.Counter
+	evictData           *metrics.Counter
 }
 
 // New creates a TLB with the given geometry and replacement policy.
@@ -180,6 +188,19 @@ func (t *TLB) lookupSize(vaddr arch.Addr, pageBits uint8, thread uint8) (int, in
 	return si, -1
 }
 
+// Instrument attaches structure-level observability counters from the
+// registry under the given prefix (e.g. "stlb"): hits, misses, and
+// evictions split by translation class. A nil registry detaches nothing
+// and costs nothing — the counters stay nil and every update is a no-op.
+func (t *TLB) Instrument(reg *metrics.Registry, prefix string) {
+	t.hitInstr = reg.Counter(prefix + ".hit.instr")
+	t.hitData = reg.Counter(prefix + ".hit.data")
+	t.missInstr = reg.Counter(prefix + ".miss.instr")
+	t.missData = reg.Counter(prefix + ".miss.data")
+	t.evictInstr = reg.Counter(prefix + ".evict.instr")
+	t.evictData = reg.Counter(prefix + ".evict.data")
+}
+
 // Lookup implements Store. A hit triggers the policy's promotion rule.
 func (t *TLB) Lookup(vaddr arch.Addr, pc uint64, class arch.Class, thread uint8) (uint64, uint8, bool) {
 	for _, pageBits := range [2]uint8{arch.PageBits4K, arch.PageBits2M} {
@@ -190,7 +211,17 @@ func (t *TLB) Lookup(vaddr arch.Addr, pc uint64, class arch.Class, thread uint8)
 		set := t.sets[si]
 		req := Request{VPN: set[w].VPN, PC: pc, Class: class, Thread: thread, PageBits: pageBits}
 		t.policy.OnHit(si, set, w, &req)
+		if class == arch.InstrClass {
+			t.hitInstr.Inc()
+		} else {
+			t.hitData.Inc()
+		}
 		return set[w].PPN, pageBits, true
+	}
+	if class == arch.InstrClass {
+		t.missInstr.Inc()
+	} else {
+		t.missData.Inc()
 	}
 	return 0, 0, false
 }
@@ -229,6 +260,11 @@ func (t *TLB) Insert(vaddr arch.Addr, ppn uint64, pageBits uint8, class arch.Cla
 	w := t.policy.Victim(si, set, &req)
 	if set[w].Valid {
 		t.policy.OnEvict(si, set, w)
+		if set[w].Class == arch.InstrClass {
+			t.evictInstr.Inc()
+		} else {
+			t.evictData.Inc()
+		}
 	}
 	set[w] = Entry{
 		Valid:    true,
@@ -282,6 +318,13 @@ func NewSplit(nsets, ways int, instrPolicy, dataPolicy Policy) *Split {
 		instr: New("STLB-I", nsets, ways, instrPolicy),
 		data:  New("STLB-D", nsets, ways, dataPolicy),
 	}
+}
+
+// Instrument attaches observability counters to both halves, suffixed
+// ".i" and ".d".
+func (s *Split) Instrument(reg *metrics.Registry, prefix string) {
+	s.instr.Instrument(reg, prefix+".i")
+	s.data.Instrument(reg, prefix+".d")
 }
 
 // Lookup implements Store, routing by class.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package itpsim
+
+const raceEnabled = false

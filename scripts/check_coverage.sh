@@ -1,0 +1,50 @@
+#!/bin/sh
+# check_coverage.sh — enforce per-package test-coverage floors.
+#
+# Runs `go test -cover` over ./internal/... and compares each package's
+# statement coverage against scripts/coverage_floors.tsv. Exits non-zero
+# when any package is below its floor or a floored package's tests fail.
+#
+# Usage: scripts/check_coverage.sh [go-test-args...]
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+floors=scripts/coverage_floors.tsv
+out=$(go test -cover "$@" ./internal/... 2>&1)
+status=$?
+echo "$out"
+if [ $status -ne 0 ]; then
+    echo "check_coverage: go test failed" >&2
+    exit $status
+fi
+
+fail=0
+while IFS="$(printf '\t')" read -r pkg floor; do
+    case "$pkg" in
+    ''|'#'*) continue ;;
+    esac
+    line=$(echo "$out" | grep "[[:space:]]$pkg[[:space:]]")
+    if [ -z "$line" ]; then
+        echo "check_coverage: FAIL $pkg: no coverage line (package removed or tests skipped?)" >&2
+        fail=1
+        continue
+    fi
+    cov=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$cov" ]; then
+        echo "check_coverage: FAIL $pkg: could not parse coverage from: $line" >&2
+        fail=1
+        continue
+    fi
+    below=$(awk "BEGIN{print ($cov < $floor) ? 1 : 0}")
+    if [ "$below" = 1 ]; then
+        echo "check_coverage: FAIL $pkg: ${cov}% < floor ${floor}%" >&2
+        fail=1
+    fi
+done < "$floors"
+
+if [ $fail -ne 0 ]; then
+    echo "check_coverage: coverage regression — raise tests or (deliberately) lower scripts/coverage_floors.tsv" >&2
+    exit 1
+fi
+echo "check_coverage: all packages at or above their floors"
