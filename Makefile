@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check cover-check fuzz-smoke bench bench-figures bench-baseline bench-compare results quick-results clean
+.PHONY: all build test vet check cover-check fuzz-smoke bench bench-figures bench-baseline bench-compare bench-check results quick-results clean
 
 all: build vet test
 
@@ -38,15 +38,25 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x . | $(GO) run ./cmd/benchguard -record $(BENCH_BASELINE)
 
 # Stable micro-benchmarks only, for regression comparison (3 iterations
-# to damp timer noise).
+# to damp timer noise), plus the steady-state hot-loop benches whose
+# allocs/op feed benchguard's allocation gate (many iterations: each op is
+# a single simulated instruction).
 bench-baseline:
-	$(GO) test -bench 'SimulatorThroughput|CacheAccess|STLBLookup|WorkloadGeneration' -benchtime 3x -run '^$$' . \
+	{ $(GO) test -bench 'SimulatorThroughput|CacheAccess|STLBLookup|WorkloadGeneration' -benchmem -benchtime 3x -run '^$$' . ; \
+	  $(GO) test -bench 'SteadyState' -benchmem -benchtime 20000x -run '^$$' ./internal/sim ; } \
 		| $(GO) run ./cmd/benchguard -record $(BENCH_BASELINE)
 
-# Fail on >10% ns/op slowdown between two baselines:
+# Fail on >10% ns/op or allocs/op growth between two baselines, or on any
+# steady-state benchmark that is no longer allocation-free:
 #   make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json
 bench-compare:
-	$(GO) run ./cmd/benchguard -compare $(OLD),$(NEW) -threshold 0.10
+	$(GO) run ./cmd/benchguard -compare $(OLD),$(NEW) -threshold 0.10 -alloc-gate '^BenchmarkSteadyState'
+
+# Single-baseline gates only (zero-alloc steady state, instrumentation
+# overhead) — what CI runs when no previous baseline is cached:
+#   make bench-check NEW=BENCH_a.json
+bench-check:
+	$(GO) run ./cmd/benchguard -check $(NEW) -alloc-gate '^BenchmarkSteadyState'
 
 bench-figures:
 	$(GO) test -bench 'Fig' -benchtime 1x .

@@ -81,7 +81,9 @@ func benchIPC(b *testing.B, cfg config.SystemConfig, name string) float64 {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := m.RunWarmup([]workload.Stream{spec.NewStream()}, 100_000, 200_000)
+	p := workload.Prefetch(spec.NewStream())
+	defer p.Close()
+	res, err := m.RunWarmup([]workload.Stream{p}, 100_000, 200_000)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -161,7 +163,9 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, _ := sim.NewMachine(config.Default())
-		m.Run([]workload.Stream{spec.NewStream()}, 100_000)
+		p := workload.Prefetch(spec.NewStream())
+		m.Run([]workload.Stream{p}, 100_000)
+		p.Close()
 	}
 	b.ReportMetric(float64(100_000*b.N)/b.Elapsed().Seconds(), "instr/s")
 }
@@ -178,7 +182,9 @@ func BenchmarkSimulatorThroughputMetrics(b *testing.B) {
 		m, _ := sim.NewMachine(config.Default())
 		w := m.InstrumentMetrics(metrics.NewRegistry(), 0)
 		w.SetRetain(64)
-		m.Run([]workload.Stream{spec.NewStream()}, 100_000)
+		p := workload.Prefetch(spec.NewStream())
+		m.Run([]workload.Stream{p}, 100_000)
+		p.Close()
 	}
 	b.ReportMetric(float64(100_000*b.N)/b.Elapsed().Seconds(), "instr/s")
 }
@@ -193,8 +199,10 @@ func simRunSeconds(b testing.TB, instrument bool, spec workload.Spec) float64 {
 		w := m.InstrumentMetrics(metrics.NewRegistry(), 0)
 		w.SetRetain(64)
 	}
+	p := workload.Prefetch(spec.NewStream())
+	defer p.Close()
 	start := time.Now()
-	if _, err := m.Run([]workload.Stream{spec.NewStream()}, 60_000); err != nil {
+	if _, err := m.Run([]workload.Stream{p}, 60_000); err != nil {
 		b.Fatal(err)
 	}
 	return time.Since(start).Seconds()

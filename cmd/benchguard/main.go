@@ -16,6 +16,15 @@
 // baseline: when both BenchmarkSimulatorThroughput and its Metrics twin
 // are present, the instrumented run must be within -overhead (default 5%)
 // of the plain one.
+//
+// Compare mode further enforces the allocation budget (benchmarks must be
+// recorded with -benchmem):
+//
+//   - benchmarks matching -alloc-gate (default ^BenchmarkSteadyState, the
+//     simulation hot-loop benches) must report exactly 0 allocs/op in the
+//     new baseline — the steady state is allocation-free by design;
+//   - any shared benchmark whose allocs/op grew by more than -threshold
+//     is a regression, same as an ns/op slowdown.
 package main
 
 import (
@@ -58,8 +67,10 @@ func main() {
 	var (
 		record    = flag.String("record", "", "parse `go test -bench` output from stdin into this JSON baseline")
 		compare   = flag.String("compare", "", "old.json,new.json — fail on regressions between the two baselines")
-		threshold = flag.Float64("threshold", 0.10, "max tolerated ns/op slowdown (0.10 = 10%)")
+		check     = flag.String("check", "", "apply the single-baseline gates (alloc gate, instrumentation overhead) to this baseline")
+		threshold = flag.Float64("threshold", 0.10, "max tolerated ns/op (or allocs/op) growth (0.10 = 10%)")
 		overhead  = flag.Float64("overhead", 0.05, "max tolerated metrics-instrumentation overhead within one baseline")
+		allocGate = flag.String("alloc-gate", "^BenchmarkSteadyState", "regexp of benchmarks that must report 0 allocs/op (empty disables)")
 	)
 	flag.Parse()
 
@@ -68,12 +79,17 @@ func main() {
 		if err := doRecord(*record); err != nil {
 			fatal(err)
 		}
+	case *check != "":
+		if err := doCheck(*check, *overhead, *allocGate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
 	case *compare != "":
 		parts := strings.Split(*compare, ",")
 		if len(parts) != 2 {
 			fatal(fmt.Errorf("-compare wants old.json,new.json"))
 		}
-		if err := doCompare(parts[0], parts[1], *threshold, *overhead); err != nil {
+		if err := doCompare(parts[0], parts[1], *threshold, *overhead, *allocGate); err != nil {
 			fmt.Fprintln(os.Stderr, "benchguard:", err)
 			os.Exit(1)
 		}
@@ -140,7 +156,7 @@ func doRecord(path string) error {
 	return nil
 }
 
-func doCompare(oldPath, newPath string, threshold, overheadBudget float64) error {
+func doCompare(oldPath, newPath string, threshold, overheadBudget float64, allocGate string) error {
 	oldB, err := load(oldPath)
 	if err != nil {
 		return err
@@ -172,28 +188,104 @@ func doCompare(oldPath, newPath string, threshold, overheadBudget float64) error
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", name, o.NsPerOp, n.NsPerOp, 100*slowdown))
 		}
+		// Allocation regressions gate just like time regressions when both
+		// baselines were recorded with -benchmem. allocs/op are integers,
+		// so require at least one whole extra allocation besides the ratio
+		// (a 0 -> 0 or 10 -> 10.5 wobble is not a regression).
+		oa, oOK := o.Metrics["allocs/op"]
+		na, nOK := n.Metrics["allocs/op"]
+		if oOK && nOK && na > oa*(1+threshold) && na-oa >= 1 {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f allocs/op", name, oa, na))
+		}
 		fmt.Printf("%-48s %12.0f %12.0f %+7.1f%% %s\n", name, o.NsPerOp, n.NsPerOp, 100*slowdown, status)
 	}
 	if shared == 0 {
 		return fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
 	}
 
-	if plain, ok := newB.Benchmarks[plainBench]; ok {
-		if inst, ok := newB.Benchmarks[instrumentedBench]; ok && plain.NsPerOp > 0 {
-			ratio := inst.NsPerOp/plain.NsPerOp - 1
-			fmt.Printf("%-48s %+7.1f%% (budget %.0f%%)\n", "instrumentation overhead", 100*ratio, 100*overheadBudget)
-			if ratio > overheadBudget {
-				regressions = append(regressions,
-					fmt.Sprintf("instrumentation overhead %.1f%% exceeds %.0f%% budget", 100*ratio, 100*overheadBudget))
-			}
-		}
+	failures, err := baselineGates(newB, newPath, overheadBudget, allocGate)
+	if err != nil {
+		return err
 	}
+	regressions = append(regressions, failures...)
 
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d regression(s):\n  %s", len(regressions), strings.Join(regressions, "\n  "))
 	}
 	fmt.Printf("benchguard: %d benchmarks within %.0f%% of baseline\n", shared, 100*threshold)
 	return nil
+}
+
+// doCheck applies the single-baseline gates to one recorded baseline —
+// the unconditional CI path when no cached baseline exists to compare
+// against yet.
+func doCheck(path string, overheadBudget float64, allocGate string) error {
+	b, err := load(path)
+	if err != nil {
+		return err
+	}
+	failures, err := baselineGates(b, path, overheadBudget, allocGate)
+	if err != nil {
+		return err
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d gate failure(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchguard: %s passes the baseline gates\n", path)
+	return nil
+}
+
+// baselineGates runs the checks that need only one baseline: the
+// zero-allocation gate over -alloc-gate benchmarks and the
+// instrumentation-overhead budget.
+func baselineGates(b baseline, path string, overheadBudget float64, allocGate string) ([]string, error) {
+	var failures []string
+
+	if allocGate != "" {
+		re, err := regexp.Compile(allocGate)
+		if err != nil {
+			return nil, fmt.Errorf("-alloc-gate: %w", err)
+		}
+		names := make([]string, 0, len(b.Benchmarks))
+		for name := range b.Benchmarks {
+			if re.MatchString(name) {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			allocs, ok := b.Benchmarks[name].Metrics["allocs/op"]
+			switch {
+			case !ok:
+				failures = append(failures,
+					fmt.Sprintf("%s: no allocs/op recorded (run the bench with -benchmem)", name))
+			case allocs != 0:
+				failures = append(failures,
+					fmt.Sprintf("%s: %.0f allocs/op, steady state must be allocation-free", name, allocs))
+			default:
+				fmt.Printf("%-48s 0 allocs/op ok\n", name)
+			}
+		}
+		// A gate that matches nothing is a silently disabled gate.
+		if len(names) == 0 {
+			failures = append(failures,
+				fmt.Sprintf("alloc gate %q matched no benchmarks in %s", allocGate, path))
+		}
+	}
+
+	if plain, ok := b.Benchmarks[plainBench]; ok {
+		if inst, ok := b.Benchmarks[instrumentedBench]; ok && plain.NsPerOp > 0 {
+			ratio := inst.NsPerOp/plain.NsPerOp - 1
+			fmt.Printf("%-48s %+7.1f%% (budget %.0f%%)\n", "instrumentation overhead", 100*ratio, 100*overheadBudget)
+			if ratio > overheadBudget {
+				failures = append(failures,
+					fmt.Sprintf("instrumentation overhead %.1f%% exceeds %.0f%% budget", 100*ratio, 100*overheadBudget))
+			}
+		}
+	}
+	return failures, nil
 }
 
 func load(path string) (baseline, error) {

@@ -246,6 +246,13 @@ func main() {
 			}
 			jc.Attach(m)
 			attachMetrics(m, ls[0])
+			// Decode-ahead ingestion: trace decode (gzip+uvarint) or
+			// synthetic generation overlaps the simulation.
+			for i, s := range streams {
+				p := workload.Prefetch(s)
+				defer p.Close()
+				streams[i] = p
+			}
 			res, err := m.RunWarmup(streams, *warmup, *measure)
 			if err != nil {
 				return nil, err
@@ -289,7 +296,9 @@ func runBatch(cat *workload.Catalog, cfg config.SystemConfig, hopts harness.Opti
 				}
 				jc.Attach(m)
 				attachMetrics(m, name)
-				res, err := m.RunWarmup([]workload.Stream{spec.NewStream()}, warmup, measure)
+				p := workload.Prefetch(spec.NewStream())
+				defer p.Close()
+				res, err := m.RunWarmup([]workload.Stream{p}, warmup, measure)
 				if err != nil {
 					return nil, err
 				}

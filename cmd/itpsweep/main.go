@@ -223,7 +223,9 @@ func main() {
 					}
 					jc.Attach(m)
 					attachMetrics(m, fmt.Sprintf("%s=%g/%s", *param, v, name))
-					res, err := m.RunWarmup([]workload.Stream{spec.NewStream()}, *warmup, *measure)
+					p := workload.Prefetch(spec.NewStream())
+					defer p.Close()
+					res, err := m.RunWarmup([]workload.Stream{p}, *warmup, *measure)
 					if err != nil {
 						return nil, err
 					}

@@ -61,6 +61,11 @@ type Cache struct {
 	evictDataPTECtr *metrics.Counter
 	fillsCtr        *metrics.Counter
 	writebacksCtr   *metrics.Counter
+
+	// pfAcc is the scratch access train hands to the prefetch path. Safe
+	// to reuse across the recursive Access call: prefetch-kind accesses
+	// never re-enter train, and no level retains the pointer.
+	pfAcc arch.Access
 }
 
 // New creates a cache level. next is the level misses go to; st is the
@@ -117,7 +122,9 @@ func (c *Cache) lookup(block uint64, thread uint8) (int, int) {
 	si := c.setFor(block)
 	set := c.sets[si]
 	for w := range set {
-		if set[w].Valid && set[w].Tag == block && set[w].Thread == thread {
+		// Tag first: it is the most discriminating field, so the common
+		// non-matching way falls out after one compare.
+		if set[w].Tag == block && set[w].Valid && set[w].Thread == thread {
 			return si, w
 		}
 	}
@@ -141,7 +148,7 @@ func (c *Cache) record(acc *arch.Access, hit bool) {
 func (c *Cache) mshrLookup(now uint64, block uint64, thread uint8) *mshrEntry {
 	for i := range c.mshrs {
 		e := &c.mshrs[i]
-		if e.valid && e.block == block && e.thread == thread && e.readyAt > now {
+		if e.block == block && e.valid && e.thread == thread && e.readyAt > now {
 			return e
 		}
 	}
@@ -299,8 +306,9 @@ func (c *Cache) train(now uint64, acc *arch.Access) {
 			continue
 		}
 		c.PrefetchIssued++
-		pf := arch.Access{Addr: addr, PC: acc.PC, Kind: arch.Prefetch, Thread: acc.Thread}
-		c.Access(now, &pf)
+		pf := &c.pfAcc
+		*pf = arch.Access{Addr: addr, PC: acc.PC, Kind: arch.Prefetch, Thread: acc.Thread}
+		c.Access(now, pf)
 	}
 }
 

@@ -246,12 +246,21 @@ func (r *runner) run(jc *harness.JobContext, j job) (*stats.Sim, error) {
 		jc.Attach(m)
 		// Context-aware sources (network trace feeds, pipes) unblock when
 		// the supervisor kills the job, so a stalled Next cannot pin the
-		// goroutine past the kill grace period.
+		// goroutine past the kill grace period. Bind the originals before
+		// the decode-ahead wrap below hides them.
 		for _, s := range streams {
 			if b, ok := s.(interface{ Bind(context.Context) }); ok {
 				b.Bind(jc.Context())
 			}
 		}
+	}
+	// Decode-ahead ingestion: generation/decode overlaps simulation and
+	// the run loop refills its lookahead from in-memory batches. The
+	// runner owns these streams (fresh per job), so wrapping is safe.
+	for i, s := range streams {
+		p := workload.Prefetch(s)
+		defer p.Close()
+		streams[i] = p
 	}
 	res, err := m.RunWarmup(streams, j.warmup, j.measure)
 	if err != nil {

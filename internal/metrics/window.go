@@ -28,8 +28,25 @@ type WindowRecord struct {
 	STLBMPKIInstr float64 `json:"stlb_mpki_instr"`
 	STLBMPKIData  float64 `json:"stlb_mpki_data"`
 	// XPTPEnabled mirrors the adaptive controller's status bit for the
-	// window that just closed; nil when no controller is attached.
+	// window that just closed; nil when no controller is attached. The
+	// pointer is the JSON-facing presence flag; internally the state is a
+	// value+valid pair — set it through SetXPTPEnabled, which points at
+	// shared immutable values instead of boxing a bool per window.
 	XPTPEnabled *bool `json:"xptp_enabled,omitempty"`
+}
+
+// xptpVals backs XPTPEnabled pointers; the values are never written, so
+// every window record with the same status bit shares one pointer.
+var xptpVals = [2]bool{false, true}
+
+// SetXPTPEnabled records the adaptive controller's status bit without
+// allocating.
+func (r *WindowRecord) SetXPTPEnabled(enabled bool) {
+	if enabled {
+		r.XPTPEnabled = &xptpVals[1]
+	} else {
+		r.XPTPEnabled = &xptpVals[0]
+	}
 }
 
 // trackedCounter pairs a counter with its last-sampled value.
@@ -50,7 +67,14 @@ type Windows struct {
 
 	mu      sync.Mutex
 	tracked []trackedCounter
+	// records holds the retained series. Unbounded mode appends; with a
+	// retention cap it is a fixed ring of retain slots addressed by
+	// start/count, so closing a window at steady state overwrites the
+	// oldest slot in place — recycling its Counters map — instead of
+	// allocating a record plus map per window and memmoving the history.
 	records []WindowRecord
+	start   int // ring read position (always 0 in unbounded mode)
+	count   int // live records
 	dropped uint64 // records discarded by the retention cap
 	retain  int    // max records kept; <= 0 means unbounded
 	sink    func(*WindowRecord)
@@ -93,20 +117,89 @@ func (w *Windows) SetSink(fn func(*WindowRecord)) {
 }
 
 // SetRetain bounds the in-memory record history to n entries (<= 0 means
-// unbounded).
+// unbounded). Call before the run for an allocation-free steady state;
+// changing the cap mid-run linearizes the retained history once.
 func (w *Windows) SetRetain(n int) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if n == w.retain {
+		return
+	}
+	w.linearizeLocked()
 	w.retain = n
+}
+
+// linearizeLocked rewrites the ring into plain append order (start 0), so
+// a retention change can rebuild from a simple prefix.
+func (w *Windows) linearizeLocked() {
+	if w.start == 0 {
+		w.records = w.records[:w.count]
+		return
+	}
+	out := make([]WindowRecord, w.count)
+	for i := 0; i < w.count; i++ {
+		out[i] = *w.atLocked(i)
+	}
+	w.records = out
+	w.start = 0
+}
+
+// atLocked returns the i-th retained record, oldest first.
+func (w *Windows) atLocked(i int) *WindowRecord {
+	idx := w.start + i
+	if idx >= len(w.records) {
+		idx -= len(w.records)
+	}
+	return &w.records[idx]
+}
+
+// slotLocked returns the record slot the closing window should fill,
+// evicting (and recycling) the oldest slot when the ring is at its cap.
+// The returned record's Counters map, if any, may be reused.
+func (w *Windows) slotLocked() *WindowRecord {
+	if w.retain <= 0 {
+		w.records = append(w.records, WindowRecord{})
+		w.count = len(w.records)
+		return &w.records[w.count-1]
+	}
+	if len(w.records) != w.retain {
+		// First closes after the cap was (re)set: grow the ring to its
+		// final size once.
+		w.linearizeLocked()
+		ring := make([]WindowRecord, w.retain)
+		keep := w.count
+		if keep > w.retain {
+			w.dropped += uint64(keep - w.retain)
+			keep = w.retain
+		}
+		copy(ring, w.records[w.count-keep:])
+		w.records = ring
+		w.start, w.count = 0, keep
+	}
+	if w.count == w.retain {
+		rec := &w.records[w.start]
+		if w.start++; w.start == w.retain {
+			w.start = 0
+		}
+		w.dropped++
+		return rec
+	}
+	rec := w.atLocked(w.count)
+	w.count++
+	return rec
 }
 
 // Close ends the current window at the given cumulative retired count and
 // cycle, computing counter deltas; annotate (may be nil) can decorate the
-// record before it is stored and streamed.
+// record before it is stored and streamed. The sink, when set, must not
+// retain the record past the call: with a retention cap its Counters map
+// is recycled into a future window once the record ages out of the ring.
 func (w *Windows) Close(retired, cycles uint64, annotate func(*WindowRecord)) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	rec := WindowRecord{
+	rec := w.slotLocked()
+	scratch := rec.Counters
+	*rec = WindowRecord{
 		Window:  w.index,
 		Retired: retired,
 		Instr:   retired - w.lastRetired,
@@ -116,7 +209,12 @@ func (w *Windows) Close(retired, cycles uint64, annotate func(*WindowRecord)) {
 		rec.IPC = float64(rec.Instr) / float64(rec.Cycles)
 	}
 	if len(w.tracked) > 0 {
-		rec.Counters = make(map[string]uint64, len(w.tracked))
+		if scratch == nil {
+			scratch = make(map[string]uint64, len(w.tracked))
+		} else {
+			clear(scratch)
+		}
+		rec.Counters = scratch
 		for i := range w.tracked {
 			t := &w.tracked[i]
 			v := t.c.Value()
@@ -125,28 +223,38 @@ func (w *Windows) Close(retired, cycles uint64, annotate func(*WindowRecord)) {
 		}
 	}
 	if annotate != nil {
-		annotate(&rec)
+		annotate(rec)
 	}
 	w.index++
 	w.lastRetired = retired
 	w.lastCycles = cycles
-	w.records = append(w.records, rec)
-	if w.retain > 0 && len(w.records) > w.retain {
-		drop := len(w.records) - w.retain
-		w.dropped += uint64(drop)
-		w.records = append(w.records[:0], w.records[drop:]...)
-	}
 	if w.sink != nil {
-		w.sink(&rec)
+		w.sink(rec)
 	}
 }
 
-// Records returns a copy of the retained window series.
+// Records returns a copy of the retained window series. Counters maps are
+// deep-copied: the retained originals are recycled as their records age
+// out of a capped ring, so callers get stable snapshots.
 func (w *Windows) Records() []WindowRecord {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	out := make([]WindowRecord, len(w.records))
-	copy(out, w.records)
+	out := make([]WindowRecord, w.count)
+	for i := range out {
+		out[i] = *w.atLocked(i)
+		out[i].Counters = cloneCounters(out[i].Counters)
+	}
+	return out
+}
+
+func cloneCounters(m map[string]uint64) map[string]uint64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
 	return out
 }
 
@@ -163,11 +271,14 @@ func (w *Windows) Closed() uint64 {
 func (w *Windows) Recent(n int) []WindowRecord {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if n > len(w.records) {
-		n = len(w.records)
+	if n > w.count {
+		n = w.count
 	}
 	out := make([]WindowRecord, n)
-	copy(out, w.records[len(w.records)-n:])
+	for i := range out {
+		out[i] = *w.atLocked(w.count - n + i)
+		out[i].Counters = cloneCounters(out[i].Counters)
+	}
 	return out
 }
 

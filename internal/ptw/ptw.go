@@ -59,7 +59,7 @@ func (p *psc) lookup(va arch.Addr, thread uint8) bool {
 	tag := p.tagFor(va)
 	set := p.sets[tag&p.setMask]
 	for i := range set {
-		if set[i].valid && set[i].tag == tag && set[i].thread == thread {
+		if set[i].tag == tag && set[i].valid && set[i].thread == thread {
 			for j := range set {
 				if set[j].lru < set[i].lru {
 					set[j].lru++
@@ -111,6 +111,11 @@ type Walker struct {
 	walkCtr [2]*metrics.Counter
 	walkLat *metrics.Histogram
 	pscHits *metrics.Counter
+
+	// acc is the scratch access record the per-level PTE reads reuse; a
+	// loop local passed through the cache.Level interface would escape to
+	// the heap on every walk step.
+	acc arch.Access
 }
 
 // Instrument attaches observability counters from the registry under the
@@ -184,7 +189,8 @@ func (w *Walker) Walk(now uint64, va arch.Addr, tr *vm.Translation, class arch.C
 	// Issue the remaining PTE reads serially.
 	for i := firstStep; i < tr.NumSteps; i++ {
 		step := tr.Steps[i]
-		acc := arch.Access{
+		acc := &w.acc
+		*acc = arch.Access{
 			Addr:   step.PTEAddr,
 			PC:     pc,
 			Kind:   arch.PTW,
@@ -192,7 +198,7 @@ func (w *Walker) Walk(now uint64, va arch.Addr, tr *vm.Translation, class arch.C
 			IsPTE:  true,
 			Thread: thread,
 		}
-		t = w.mem.Access(t, &acc)
+		t = w.mem.Access(t, acc)
 		memRefs++
 		// Install the traversed non-leaf levels into their PSCs.
 		if step.Level > leafLevel {

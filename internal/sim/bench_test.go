@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"itpsim/internal/config"
+	"itpsim/internal/metrics"
+	"itpsim/internal/workload"
+)
+
+// newSteadyMachine builds a machine plus a warmed thread context stepping
+// the reference workload, so the benchmark loop measures exactly one
+// steady-state instruction per op. Warm steps populate caches, TLBs, page
+// tables, and the allocator-visible buffers (lookahead ring, metrics
+// window ring), leaving the measured loop with the structures the run
+// loop actually touches per instruction.
+func newSteadyMachine(b *testing.B, instrument bool) (*Machine, *threadCtx) {
+	b.Helper()
+	cat := workload.NewCatalog(4, 2)
+	spec, err := cat.Get("srv_000")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMachine(config.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if instrument {
+		w := m.InstrumentMetrics(metrics.NewRegistry(), 0)
+		w.SetRetain(64)
+	}
+	t := newThreadCtx(0, spec.NewStream(), &m.cfg, 1, math.MaxUint64)
+	m.threads = []*threadCtx{t}
+	for i := 0; i < 50_000; i++ {
+		m.step(t)
+	}
+	return m, t
+}
+
+// BenchmarkSteadyStateStep is the allocation gate for the simulation hot
+// loop: one instruction end to end (lookahead pop, front end, TLBs, page
+// walks, caches, retire) with zero heap allocations per op. benchguard's
+// -alloc-gate fails the build if allocs/op ever leaves 0.
+func BenchmarkSteadyStateStep(b *testing.B) {
+	m, t := newSteadyMachine(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.step(t)
+	}
+}
+
+// BenchmarkSteadyStateStepMetrics is the instrumented twin: full registry
+// attached and per-1000-instruction windows closing into a retained ring.
+// It must also run allocation-free — window records and their counter
+// maps recycle in place.
+func BenchmarkSteadyStateStepMetrics(b *testing.B) {
+	m, t := newSteadyMachine(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.step(t)
+	}
+}

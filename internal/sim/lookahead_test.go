@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/workload"
+)
+
+// seqInstrs builds n distinguishable instructions (PC encodes the index).
+func seqInstrs(n int) []workload.Instr {
+	instrs := make([]workload.Instr, n)
+	for i := range instrs {
+		instrs[i].PC = 0x400000 + arch.Addr(i)*4
+	}
+	return instrs
+}
+
+// TestLookaheadInterleavedPeekPopAcrossWrap drives peeks and pops across
+// the ring boundary many times over: every peek must see exactly the
+// instruction that the matching pop later returns, regardless of where
+// head sits in the ring.
+func TestLookaheadInterleavedPeekPopAcrossWrap(t *testing.T) {
+	const total = 1000
+	instrs := seqInstrs(total)
+	la := newLookahead(&workload.Replay{Instrs: instrs}, 64)
+	if len(la.buf) != 64 {
+		t.Fatalf("capacity = %d, want the requested power of two 64", len(la.buf))
+	}
+
+	popped := 0
+	var in workload.Instr
+	for popped < total {
+		// Peek a spread of offsets, including some near the capacity so
+		// the (head+i) index wraps.
+		for _, off := range []int{0, 1, 7, 31, 62, 63} {
+			want := popped + off
+			got := la.peek(off)
+			if want >= total {
+				if got != nil {
+					t.Fatalf("peek(%d) after %d pops = %v, want nil beyond EOF", off, popped, got)
+				}
+				continue
+			}
+			if got == nil {
+				t.Fatalf("peek(%d) after %d pops = nil, want instr %d", off, popped, want)
+			}
+			if got.PC != instrs[want].PC {
+				t.Fatalf("peek(%d) after %d pops: PC %#x, want %#x", off, popped, got.PC, instrs[want].PC)
+			}
+		}
+		// Pop a prime-ish stride so head lands on every residue of the
+		// ring over the run.
+		for j := 0; j < 7 && popped < total; j++ {
+			if !la.pop(&in) {
+				t.Fatalf("pop after %d returned false before EOF", popped)
+			}
+			if in.PC != instrs[popped].PC {
+				t.Fatalf("pop %d: PC %#x, want %#x", popped, in.PC, instrs[popped].PC)
+			}
+			popped++
+		}
+	}
+	if la.pop(&in) {
+		t.Fatal("pop past EOF returned true")
+	}
+	if la.peek(0) != nil {
+		t.Fatal("peek(0) past EOF returned non-nil")
+	}
+}
+
+// TestLookaheadPeekBeyondEOF checks peeks past the end of a short stream
+// return nil without disturbing the instructions still buffered.
+func TestLookaheadPeekBeyondEOF(t *testing.T) {
+	instrs := seqInstrs(10)
+	la := newLookahead(&workload.Replay{Instrs: instrs}, 64)
+	if got := la.peek(10); got != nil {
+		t.Fatalf("peek(10) on a 10-instr stream = %v, want nil", got)
+	}
+	if got := la.peek(1 << 20); got != nil {
+		t.Fatalf("peek(huge) = %v, want nil", got)
+	}
+	for i := 0; i < 10; i++ {
+		var in workload.Instr
+		if !la.pop(&in) || in.PC != instrs[i].PC {
+			t.Fatalf("pop %d after EOF peeks: got %#x ok=%v, want %#x", i, in.PC, true, instrs[i].PC)
+		}
+	}
+}
+
+// TestLookaheadRefillAfterPartialDrain drains part of the buffer, forces
+// a refill (which lands in two contiguous segments around the wrap), and
+// verifies order is preserved.
+func TestLookaheadRefillAfterPartialDrain(t *testing.T) {
+	const total = 300
+	instrs := seqInstrs(total)
+	la := newLookahead(&workload.Replay{Instrs: instrs}, 64)
+
+	var in workload.Instr
+	// Fill, drain 40 of 64, then peek deep to force a wrapped refill.
+	if la.peek(0) == nil {
+		t.Fatal("initial fill failed")
+	}
+	for i := 0; i < 40; i++ {
+		if !la.pop(&in) || in.PC != instrs[i].PC {
+			t.Fatalf("drain pop %d mismatch", i)
+		}
+	}
+	if got := la.peek(63); got == nil || got.PC != instrs[40+63].PC {
+		t.Fatalf("peek(63) after partial drain: got %v, want PC %#x", got, instrs[103].PC)
+	}
+	for i := 40; i < total; i++ {
+		if !la.pop(&in) || in.PC != instrs[i].PC {
+			t.Fatalf("post-refill pop %d: PC %#x, want %#x", i, in.PC, instrs[i].PC)
+		}
+	}
+	if la.pop(&in) {
+		t.Fatal("pop past EOF returned true")
+	}
+}
+
+// TestLookaheadBatchMatchesDirect is the ingestion equivalence property:
+// feeding the lookahead through the decode-ahead batch pipeline must
+// yield the identical instruction sequence as pulling the same generator
+// directly via Stream.Next — across several workloads and both SMT
+// generator families.
+func TestLookaheadBatchMatchesDirect(t *testing.T) {
+	cat := workload.NewCatalog(2, 2)
+	for _, name := range []string{"srv_000", "srv_001", "spec_000", "spec_001"} {
+		spec, err := cat.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 30_000
+		direct := spec.NewStream()
+		p := workload.Prefetch(spec.NewStream())
+		defer p.Close()
+		la := newLookahead(p, 384)
+
+		var want, got workload.Instr
+		for i := 0; i < n; i++ {
+			if !direct.Next(&want) {
+				t.Fatalf("%s: direct stream ended at %d", name, i)
+			}
+			if !la.pop(&got) {
+				t.Fatalf("%s: batch-fed lookahead ended at %d", name, i)
+			}
+			if got != want {
+				t.Fatalf("%s: instruction %d diverged: batch %+v, direct %+v", name, i, got, want)
+			}
+		}
+	}
+}

@@ -60,9 +60,13 @@ type Machine struct {
 	// ROB (debug attribution).
 	frontBound, backBound uint64
 
-	// retiredTotal is the machine-wide retired-instruction counter. It is
-	// the forward-progress signal an external supervisor (harness) samples
-	// while a run is in flight, so it is updated atomically.
+	// retiredLocal is the authoritative retired-instruction counter,
+	// owned by the run loop. retiredTotal mirrors it for concurrent
+	// readers: the step path publishes in batches (retirePublishMask) and
+	// the run loop publishes exactly on entry/exit, so a supervisor's
+	// Progress sample is at most a batch stale while a run is in flight
+	// and exact once it returns.
+	retiredLocal uint64
 	retiredTotal atomic.Uint64
 	// interrupted requests that the run loop stop at the next instruction
 	// boundary; set asynchronously via Interrupt.
@@ -81,6 +85,14 @@ type Machine struct {
 	// maxRetireCycle is the latest retire cycle seen across threads —
 	// the cycle clock the windowed sampler stamps windows with.
 	maxRetireCycle uint64
+
+	// acc is the scratch access record the ifetch/dataAccess/fdipPrefetch
+	// paths reuse. Access records flow down the hierarchy by pointer and
+	// no level or policy retains them past the call, so a single
+	// per-machine scratch keeps the hot paths allocation-free (a local
+	// passed through the cache.Level interface escapes to the heap on
+	// every instruction).
+	acc arch.Access
 }
 
 // BoundSplit reports the fraction of dispatches limited by the front end.
@@ -337,8 +349,9 @@ func (m *Machine) ifetch(now uint64, pc arch.Addr, thread uint8) uint64 {
 		tdone = now + (tdone-now)*debugIfetchPenalty
 	}
 	m.Stats.InstrTransCycles += tdone - now
-	acc := arch.Access{Addr: pa, PC: pc, Kind: arch.IFetch, STLBMiss: stlbMiss, Thread: thread}
-	return m.l1i.Access(tdone, &acc)
+	acc := &m.acc
+	*acc = arch.Access{Addr: pa, PC: pc, Kind: arch.IFetch, STLBMiss: stlbMiss, Thread: thread}
+	return m.l1i.Access(tdone, acc)
 }
 
 // dataAccess performs translation + L1D access for a load or store.
@@ -349,8 +362,9 @@ func (m *Machine) dataAccess(now uint64, va, pc arch.Addr, isStore bool, thread 
 	if isStore {
 		kind = arch.Store
 	}
-	acc := arch.Access{Addr: pa, PC: pc, Kind: kind, STLBMiss: stlbMiss, Thread: thread}
-	return m.l1d.Access(tdone, &acc)
+	acc := &m.acc
+	*acc = arch.Access{Addr: pa, PC: pc, Kind: kind, STLBMiss: stlbMiss, Thread: thread}
+	return m.l1d.Access(tdone, acc)
 }
 
 // fdipPrefetch probes the ITLB for the block's translation and, when it
@@ -366,8 +380,9 @@ func (m *Machine) fdipPrefetch(now uint64, pc arch.Addr, thread uint8) bool {
 	if m.l1i.Contains(pa, thread) {
 		return true
 	}
-	acc := arch.Access{Addr: pa, PC: pc, Kind: arch.Prefetch, Thread: thread}
-	m.l1i.Access(now, &acc)
+	acc := &m.acc
+	*acc = arch.Access{Addr: pa, PC: pc, Kind: arch.Prefetch, Thread: thread}
+	m.l1i.Access(now, acc)
 	return true
 }
 
@@ -422,6 +437,17 @@ func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) (
 	m.publishDiag()
 
 	run := func(until uint64) {
+		// Single-thread fast path: no per-step thread selection scan.
+		if len(threads) == 1 {
+			t := threads[0]
+			for !t.done && t.retired < until {
+				if m.interrupted.Load() {
+					return
+				}
+				m.step(t)
+			}
+			return
+		}
 		for {
 			if m.interrupted.Load() {
 				return
@@ -466,6 +492,7 @@ func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) (
 		}
 	}
 	run(warmup + measure)
+	m.retiredTotal.Store(m.retiredLocal) // exact progress at run end
 
 	var last uint64
 	for _, th := range threads {
@@ -516,8 +543,9 @@ const diagPublishMask = 1<<16 - 1
 // and the atomic pointer store is what makes the result safe to read
 // from a supervisor thread.
 func (m *Machine) publishDiag() {
+	m.retiredTotal.Store(m.retiredLocal)
 	var b strings.Builder
-	fmt.Fprintf(&b, "retired=%d", m.retiredTotal.Load())
+	fmt.Fprintf(&b, "retired=%d", m.retiredLocal)
 	for _, th := range m.threads {
 		fmt.Fprintf(&b, " t%d{retired=%d fetchCycle=%d lastRetire=%d done=%v}",
 			th.id, th.retired, th.fetchCycle, th.lastRetire, th.done)

@@ -32,6 +32,10 @@ type machineMetrics struct {
 	// controller; xptpEnabled is its most recent decision.
 	xptpTransitions *metrics.Counter
 	xptpEnabled     bool
+
+	// annotate decorates each closing window; built once at attach time
+	// so the per-window close does not allocate a closure.
+	annotate func(*metrics.WindowRecord)
 }
 
 // InstrumentMetrics attaches an observability registry to the machine and
@@ -85,6 +89,17 @@ func (m *Machine) InstrumentMetrics(reg *metrics.Registry, windowInstr uint64) *
 		})
 	}
 
+	mm.annotate = func(rec *metrics.WindowRecord) {
+		if rec.Instr > 0 {
+			k := 1000 / float64(rec.Instr)
+			rec.STLBMPKIInstr = float64(rec.Counters["stlb.demand_miss.instr"]) * k
+			rec.STLBMPKIData = float64(rec.Counters["stlb.demand_miss.data"]) * k
+		}
+		if m.ctrl != nil {
+			rec.SetXPTPEnabled(mm.xptpEnabled)
+		}
+	}
+
 	mm.next = mm.windows.Size()
 	m.metSTLBMissInstr = mm.stlbMissInstr
 	m.metSTLBMissData = mm.stlbMissData
@@ -106,17 +121,7 @@ func (m *Machine) Metrics() *metrics.Windows {
 // the run loop only.
 func (m *Machine) closeMetricsWindow(retired uint64) {
 	mm := m.met
-	mm.windows.Close(retired, m.maxRetireCycle, func(rec *metrics.WindowRecord) {
-		if rec.Instr > 0 {
-			k := 1000 / float64(rec.Instr)
-			rec.STLBMPKIInstr = float64(rec.Counters["stlb.demand_miss.instr"]) * k
-			rec.STLBMPKIData = float64(rec.Counters["stlb.demand_miss.data"]) * k
-		}
-		if m.ctrl != nil {
-			enabled := mm.xptpEnabled
-			rec.XPTPEnabled = &enabled
-		}
-	})
+	mm.windows.Close(retired, m.maxRetireCycle, mm.annotate)
 	mm.next += mm.windows.Size()
 }
 

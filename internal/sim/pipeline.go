@@ -1,34 +1,64 @@
 package sim
 
 import (
+	"fmt"
+
 	"itpsim/internal/arch"
 	"itpsim/internal/config"
 	"itpsim/internal/workload"
 )
 
 // lookahead buffers upcoming instructions so the decoupled front-end can
-// prefetch future fetch blocks (FDIP) before fetch reaches them.
+// prefetch future fetch blocks (FDIP) before fetch reaches them. The
+// buffer is a power-of-two ring (masked indexing) refilled in contiguous
+// bulk segments through workload.NextBatcher when the source supports it,
+// so steady-state refills are memmoves instead of per-instruction
+// interface calls.
 type lookahead struct {
 	s     workload.Stream
+	bulk  workload.NextBatcher // non-nil when s has a native bulk path
 	buf   []workload.Instr
+	mask  int
 	head  int
 	size  int
 	ended bool
 }
 
 func newLookahead(s workload.Stream, capacity int) *lookahead {
-	return &lookahead{s: s, buf: make([]workload.Instr, capacity)}
+	cap2 := 64
+	for cap2 < capacity {
+		cap2 <<= 1
+	}
+	l := &lookahead{s: s, buf: make([]workload.Instr, cap2), mask: cap2 - 1}
+	l.bulk, _ = s.(workload.NextBatcher)
+	return l
 }
 
-// fill tops the buffer up to capacity.
+// fill tops the buffer up to capacity, one contiguous free segment at a
+// time (at most two segments when the free space wraps).
 func (l *lookahead) fill() {
 	for !l.ended && l.size < len(l.buf) {
-		idx := (l.head + l.size) % len(l.buf)
-		if !l.s.Next(&l.buf[idx]) {
-			l.ended = true
-			return
+		wpos := (l.head + l.size) & l.mask
+		n := len(l.buf) - wpos
+		if wpos < l.head {
+			n = l.head - wpos
 		}
-		l.size++
+		seg := l.buf[wpos : wpos+n]
+		if l.bulk != nil {
+			got := l.bulk.NextBatch(seg)
+			if got == 0 {
+				l.ended = true
+				return
+			}
+			l.size += got
+		} else {
+			got := workload.FillBatch(l.s, seg)
+			l.size += got
+			if got < len(seg) {
+				l.ended = true
+				return
+			}
+		}
 	}
 }
 
@@ -36,11 +66,11 @@ func (l *lookahead) fill() {
 func (l *lookahead) peek(i int) *workload.Instr {
 	if i >= l.size {
 		l.fill()
+		if i >= l.size {
+			return nil
+		}
 	}
-	if i >= l.size {
-		return nil
-	}
-	return &l.buf[(l.head+i)%len(l.buf)]
+	return &l.buf[(l.head+i)&l.mask]
 }
 
 // pop consumes the next instruction.
@@ -52,7 +82,7 @@ func (l *lookahead) pop(in *workload.Instr) bool {
 		}
 	}
 	*in = l.buf[l.head]
-	l.head = (l.head + 1) % len(l.buf)
+	l.head = (l.head + 1) & l.mask
 	l.size--
 	return true
 }
@@ -72,9 +102,11 @@ type threadCtx struct {
 	fetchStep  uint64 // cycles consumed per fetch group (2 under SMT)
 	fetchSub   int    // instructions fetched in the current group
 	fetchBlock arch.Addr
+	refetch    bool   // force an ifetch even if the block address matches
 	fetchReady uint64 // when the current block's fetch completes
 	fdipCursor int    // lookahead index the FDIP scan has reached
 	fdipBlock  arch.Addr
+	scanBudget int // max lookahead instructions one FDIP scan may walk
 
 	// Back end.
 	robRing []uint64 // retire times of the last ROBSize instructions
@@ -87,18 +119,35 @@ type threadCtx struct {
 	lastLoadDone uint64
 }
 
+// blockInstrs is the most instructions one fetch block can hold (4-byte
+// instructions), which bounds how many lookahead slots an FDIP scan of
+// FDIPDistance blocks can consume.
+const blockInstrs = arch.BlockSize / 4
+
 func newThreadCtx(id uint8, s workload.Stream, cfg *config.SystemConfig, fetchStep uint64, budget uint64) *threadCtx {
 	// The FTQ bounds how far fetch may run ahead of dispatch; beyond it
 	// the decoupled front-end can no longer hide instruction-side misses.
 	ftqCap := cfg.FTQDepth
-	return &threadCtx{
-		id:        id,
-		la:        newLookahead(s, cfg.FDIPDistance*16+64),
-		budget:    budget,
-		fetchStep: fetchStep,
-		robRing:   make([]uint64, cfg.ROBSize),
-		ftqRing:   make([]uint64, ftqCap),
+	// FDIP scans at most FDIPDistance blocks; a block holds at most
+	// blockInstrs instructions, so the scan needs at most this many
+	// lookahead slots.
+	scanBudget := cfg.FDIPDistance * blockInstrs
+	t := &threadCtx{
+		id: id,
+		// refetch starts true: the first instruction must fetch its block
+		// even when the trace begins in block 0.
+		refetch:    true,
+		la:         newLookahead(s, scanBudget),
+		budget:     budget,
+		fetchStep:  fetchStep,
+		scanBudget: scanBudget,
+		robRing:    make([]uint64, cfg.ROBSize),
+		ftqRing:    make([]uint64, ftqCap),
 	}
+	if len(t.la.buf) < scanBudget {
+		panic(fmt.Sprintf("sim: lookahead capacity %d < FDIP scan budget %d", len(t.la.buf), scanBudget))
+	}
+	return t
 }
 
 // pipelineFillLatency is the constant decode/rename depth between fetch
@@ -124,7 +173,8 @@ func (m *Machine) step(t *threadCtx) {
 	}
 
 	blk := arch.BlockAddr(in.PC)
-	if blk != t.fetchBlock {
+	if blk != t.fetchBlock || t.refetch {
+		t.refetch = false
 		t.fetchBlock = blk
 		done := m.ifetch(t.fetchCycle, in.PC, t.id)
 		if done > t.fetchReady {
@@ -153,7 +203,9 @@ func (m *Machine) step(t *threadCtx) {
 		m.frontBound++
 	}
 	t.ftqRing[t.ftqPos] = dispatch
-	t.ftqPos = (t.ftqPos + 1) % len(t.ftqRing)
+	if t.ftqPos++; t.ftqPos == len(t.ftqRing) {
+		t.ftqPos = 0
+	}
 
 	// ---- Execute / memory ----
 	execDone := dispatch + m.cfg.ExecLatency
@@ -187,12 +239,14 @@ func (m *Machine) step(t *threadCtx) {
 			predictedRight = m.predictBranch()
 		}
 		if !predictedRight {
-			// Mispredict: the front end redirects after resolution.
+			// Mispredict: the front end redirects after resolution and
+			// must refetch the target block, wherever it lives (an
+			// address sentinel would miss targets in block 0).
 			redirect := execDone + m.cfg.MispredictPen
 			if t.fetchCycle < redirect {
 				t.fetchCycle = redirect
 			}
-			t.fetchBlock = 0 // refetch the target block
+			t.refetch = true
 		}
 	}
 
@@ -213,15 +267,24 @@ func (m *Machine) step(t *threadCtx) {
 	t.lastRetire = rt
 
 	t.robRing[t.robPos] = rt
-	t.robPos = (t.robPos + 1) % len(t.robRing)
+	if t.robPos++; t.robPos == len(t.robRing) {
+		t.robPos = 0
+	}
 	if rt > m.maxRetireCycle {
 		m.maxRetireCycle = rt
 	}
 
 	t.retired++
-	rtot := m.retiredTotal.Add(1)
-	if rtot&diagPublishMask == 0 {
-		m.publishDiag()
+	m.retiredLocal++
+	rtot := m.retiredLocal
+	// Publish progress for the watchdog in batches: a per-retire atomic
+	// store costs measurable throughput, and the watchdog samples at
+	// millisecond granularity, so sub-millisecond staleness is invisible.
+	if rtot&retirePublishMask == 0 {
+		m.retiredTotal.Store(rtot)
+		if rtot&diagPublishMask == 0 {
+			m.publishDiag()
+		}
 	}
 	if m.ctrl != nil {
 		m.ctrl.OnRetire(1)
@@ -237,17 +300,22 @@ func (m *Machine) step(t *threadCtx) {
 	}
 }
 
+// retirePublishMask batches retiredTotal stores (must divide the diag
+// publish interval so the nested boundary check still fires).
+const retirePublishMask = 1<<10 - 1
+
 // fdipScan advances the FDIP cursor through the lookahead buffer,
 // prefetching upcoming fetch blocks whose translations the ITLB already
-// holds. The scan stops at the configured distance or at the first block
-// whose translation is unknown — the front end cannot prefetch past a
-// pending instruction translation.
+// holds. The scan stops at the configured block distance — bounded by
+// scanBudget lookahead instructions, the most FDIPDistance blocks can
+// hold — or at the first block whose translation is unknown; the front
+// end cannot prefetch past a pending instruction translation.
 func (m *Machine) fdipScan(t *threadCtx) {
 	if !m.cfg.L1IFDIP {
 		return
 	}
 	blocks := 0
-	for i := t.fdipCursor; blocks < m.cfg.FDIPDistance; i++ {
+	for i := t.fdipCursor; blocks < m.cfg.FDIPDistance && i < t.scanBudget; i++ {
 		in := t.la.peek(i)
 		if in == nil {
 			break

@@ -139,6 +139,79 @@ func TestFTQDepthGatesFrontendRunahead(t *testing.T) {
 	}
 }
 
+// TestMispredictRefetchesBlockZero is the regression test for the
+// mispredict-redirect sentinel: the old code forced a refetch by setting
+// fetchBlock to address 0, which is itself a valid block address, so a
+// redirect whose target lived in block 0 silently skipped the instruction
+// fetch. With code placed entirely in block 0 and every branch
+// mispredicting, each redirect must re-access the L1I.
+func TestMispredictRefetchesBlockZero(t *testing.T) {
+	const n = 4000
+	instrs := make([]workload.Instr, n)
+	for i := range instrs {
+		instrs[i].PC = arch.Addr((i % 16) * 4) // all PCs inside block 0
+		instrs[i].IsBranch = true
+		instrs[i].Taken = true
+	}
+	cfg := config.Default()
+	cfg.BranchPredAccuracy = 0 // every branch mispredicts, deterministically
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run([]workload.Stream{&workload.Replay{Instrs: instrs}}, n); err != nil {
+		t.Fatal(err)
+	}
+	accesses := m.Stats.L1I.TotalHits() + m.Stats.L1I.TotalMisses()
+	// Every mispredict redirects fetch back into block 0, so the L1I must
+	// see on the order of one access per instruction. Under the sentinel
+	// bug it saw none at all.
+	if accesses < n/2 {
+		t.Errorf("block-0 code with all-mispredicted branches made only %d L1I accesses, want >= %d",
+			accesses, n/2)
+	}
+}
+
+// TestFirstFetchInBlockZero checks the initial-fetch corner of the same
+// sentinel bug: a trace that begins in block 0 must still fetch its first
+// block (the old code's zero-initialised fetchBlock matched it and never
+// touched the L1I).
+func TestFirstFetchInBlockZero(t *testing.T) {
+	instrs := make([]workload.Instr, 100)
+	for i := range instrs {
+		instrs[i].PC = arch.Addr((i % 16) * 4)
+	}
+	m, err := NewMachine(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run([]workload.Stream{&workload.Replay{Instrs: instrs}}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if accesses := m.Stats.L1I.TotalHits() + m.Stats.L1I.TotalMisses(); accesses == 0 {
+		t.Error("straight-line code in block 0 never accessed the L1I")
+	}
+}
+
+// TestFDIPScanBudgetSizesLookahead checks the invariant newThreadCtx
+// asserts: the lookahead ring is always large enough for one full FDIP
+// scan (FDIPDistance blocks of blockInstrs instructions each), for
+// distances well past the default.
+func TestFDIPScanBudgetSizesLookahead(t *testing.T) {
+	for _, dist := range []int{1, 24, 100} {
+		cfg := config.Default()
+		cfg.FDIPDistance = dist
+		tc := newThreadCtx(0, &workload.Replay{}, &cfg, 1, 100)
+		if want := dist * blockInstrs; tc.scanBudget != want {
+			t.Errorf("FDIPDistance=%d: scanBudget = %d, want %d", dist, tc.scanBudget, want)
+		}
+		if len(tc.la.buf) < tc.scanBudget {
+			t.Errorf("FDIPDistance=%d: lookahead capacity %d < scan budget %d",
+				dist, len(tc.la.buf), tc.scanBudget)
+		}
+	}
+}
+
 func TestStoresDoNotBlockRetire(t *testing.T) {
 	// Stores to cold pages complete from the store buffer; a stream of
 	// them should be far cheaper than the same stream of loads.

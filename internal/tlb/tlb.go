@@ -143,6 +143,13 @@ type TLB struct {
 	missInstr, missData *metrics.Counter
 	evictInstr          *metrics.Counter
 	evictData           *metrics.Counter
+
+	// req is the scratch request record Lookup/Insert hand to the policy.
+	// Policies receive it by pointer through the Policy interface — which
+	// would heap-allocate a stack local on every access — and never retain
+	// it past the call, so one per-TLB scratch makes the hot path
+	// allocation-free.
+	req Request
 }
 
 // New creates a TLB with the given geometry and replacement policy.
@@ -181,7 +188,9 @@ func (t *TLB) lookupSize(vaddr arch.Addr, pageBits uint8, thread uint8) (int, in
 	si := t.setFor(vpn)
 	set := t.sets[si]
 	for w := range set {
-		if set[w].Valid && set[w].VPN == vpn && set[w].PageBits == pageBits && set[w].Thread == thread {
+		// VPN first: it is the most discriminating field, so the common
+		// non-matching way falls out after one compare.
+		if set[w].VPN == vpn && set[w].Valid && set[w].PageBits == pageBits && set[w].Thread == thread {
 			return si, w
 		}
 	}
@@ -209,8 +218,9 @@ func (t *TLB) Lookup(vaddr arch.Addr, pc uint64, class arch.Class, thread uint8)
 			continue
 		}
 		set := t.sets[si]
-		req := Request{VPN: set[w].VPN, PC: pc, Class: class, Thread: thread, PageBits: pageBits}
-		t.policy.OnHit(si, set, w, &req)
+		req := &t.req
+		*req = Request{VPN: set[w].VPN, PC: pc, Class: class, Thread: thread, PageBits: pageBits}
+		t.policy.OnHit(si, set, w, req)
 		if class == arch.InstrClass {
 			t.hitInstr.Inc()
 		} else {
@@ -250,14 +260,15 @@ func (t *TLB) Insert(vaddr arch.Addr, ppn uint64, pageBits uint8, class arch.Cla
 	vpn := vaddr >> pageBits
 	si := t.setFor(vpn)
 	set := t.sets[si]
-	req := Request{VPN: vpn, PC: pc, Class: class, Thread: thread, PageBits: pageBits}
+	req := &t.req
+	*req = Request{VPN: vpn, PC: pc, Class: class, Thread: thread, PageBits: pageBits}
 	// Refuse duplicate inserts (a second walk for the same page may have
 	// completed first); treat as a touch instead.
 	if _, w := t.lookupSize(vaddr, pageBits, thread); w >= 0 {
-		t.policy.OnHit(si, set, w, &req)
+		t.policy.OnHit(si, set, w, req)
 		return
 	}
-	w := t.policy.Victim(si, set, &req)
+	w := t.policy.Victim(si, set, req)
 	if set[w].Valid {
 		t.policy.OnEvict(si, set, w)
 		if set[w].Class == arch.InstrClass {
@@ -275,7 +286,7 @@ func (t *TLB) Insert(vaddr arch.Addr, ppn uint64, pageBits uint8, class arch.Cla
 		Thread:   thread,
 		Stack:    set[w].Stack, // preserve the permutation invariant
 	}
-	t.policy.OnFill(si, set, w, &req)
+	t.policy.OnFill(si, set, w, req)
 }
 
 // Flush invalidates all entries (keeps stack permutation).

@@ -269,6 +269,19 @@ func (r *Reader) Next(in *workload.Instr) bool {
 	return true
 }
 
+// NextBatch implements workload.NextBatcher so decode-ahead ingestion
+// (workload.Prefetch) fills its batches without a per-record interface
+// call. A short return only means the trace ended or went bad; Err
+// distinguishes the two.
+func (r *Reader) NextBatch(buf []workload.Instr) int {
+	for i := range buf {
+		if !r.Next(&buf[i]) {
+			return i
+		}
+	}
+	return len(buf)
+}
+
 // noEOF converts io.EOF inside a record into io.ErrUnexpectedEOF: a
 // stream that ends mid-record is truncated, not cleanly finished, and
 // must not be mistaken for a normal end of trace.

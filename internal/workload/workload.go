@@ -442,6 +442,16 @@ func (s *server) Next(in *Instr) bool {
 	return true
 }
 
+// NextBatch implements NextBatcher; server streams are infinite, so the
+// batch is always full. The direct method call devirtualizes the
+// per-instruction step relative to FillBatch's Stream.Next.
+func (s *server) NextBatch(buf []Instr) int {
+	for i := range buf {
+		s.Next(&buf[i])
+	}
+	return len(buf)
+}
+
 // SpecParams shape one synthetic SPEC-like workload.
 type SpecParams struct {
 	Seed uint64
@@ -547,6 +557,15 @@ func (s *spec) Next(in *Instr) bool {
 	return true
 }
 
+// NextBatch implements NextBatcher; spec streams are infinite, so the
+// batch is always full.
+func (s *spec) NextBatch(buf []Instr) int {
+	for i := range buf {
+		s.Next(&buf[i])
+	}
+	return len(buf)
+}
+
 // Limit wraps a stream, ending it after n instructions; useful for
 // examples and the trace writer.
 func Limit(s Stream, n uint64) Stream { return &limited{s: s, left: n} }
@@ -564,6 +583,25 @@ func (l *limited) Next(in *Instr) bool {
 	return l.s.Next(in)
 }
 
+// NextBatch implements NextBatcher, capping the batch at the remaining
+// budget and delegating to the source's bulk path when it has one.
+func (l *limited) NextBatch(buf []Instr) int {
+	if l.left == 0 {
+		return 0
+	}
+	if uint64(len(buf)) > l.left {
+		buf = buf[:l.left]
+	}
+	var n int
+	if b, ok := l.s.(NextBatcher); ok {
+		n = b.NextBatch(buf)
+	} else {
+		n = FillBatch(l.s, buf)
+	}
+	l.left -= uint64(n)
+	return n
+}
+
 // Replay replays a pre-recorded slice of instructions (tests, traces).
 type Replay struct {
 	Instrs []Instr
@@ -578,6 +616,13 @@ func (r *Replay) Next(in *Instr) bool {
 	*in = r.Instrs[r.pos]
 	r.pos++
 	return true
+}
+
+// NextBatch implements NextBatcher as a bulk copy of the recorded slice.
+func (r *Replay) NextBatch(buf []Instr) int {
+	n := copy(buf, r.Instrs[r.pos:])
+	r.pos += n
+	return n
 }
 
 // validate panics early on nonsensical parameters so misconfigured
