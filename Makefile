@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet check cover-check fuzz-smoke bench bench-figures bench-baseline bench-compare bench-check results quick-results clean
+.PHONY: all build test vet lint staticcheck govulncheck check cover-check fuzz-smoke bench bench-figures bench-baseline bench-compare bench-check results quick-results clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,37 @@ vet:
 test:
 	$(GO) test ./...
 
-# Full gate: vet + the whole suite under the race detector.
-check:
+# itpvet: the repo's own analysis suite (internal/lint). Runs both drive
+# paths so neither rots: the standalone loader and the `go vet -vettool`
+# unitchecker protocol.
+lint:
+	$(GO) build -o bin/itpvet ./cmd/itpvet
+	./bin/itpvet ./...
+	$(GO) vet -vettool=$(CURDIR)/bin/itpvet ./...
+
+# Pinned third-party analyzer versions; CI installs these exact versions.
+# Locally the targets are no-ops when the tool is not on PATH (this repo
+# builds offline), so `make check` works in a network-less sandbox.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not on PATH; skipping (CI pins $(STATICCHECK_VERSION))" ; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... ; \
+	else \
+		echo "govulncheck not on PATH; skipping (CI pins $(GOVULNCHECK_VERSION))" ; \
+	fi
+
+# Full gate: vet + itpvet + optional third-party analyzers + the whole
+# suite under the race detector.
+check: lint staticcheck govulncheck
 	$(GO) vet ./...
 	$(GO) test -race ./...
 

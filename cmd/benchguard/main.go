@@ -141,6 +141,7 @@ func doRecord(path string) error {
 			Type: "manifest",
 			Tool: "benchguard",
 			Git:  metrics.GitDescribe(),
+			//itp:wallclock — manifest timestamp only; never feeds the simulation
 			Time: time.Now().UTC().Format(time.RFC3339),
 		},
 		Benchmarks: benches,

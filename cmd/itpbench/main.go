@@ -115,6 +115,7 @@ func main() {
 		ids = experiments.All()
 	}
 	for _, id := range ids {
+		//itp:wallclock — progress reporting only; never feeds the simulation
 		start := time.Now()
 		res, err := experiments.Run(id, o)
 		if err != nil {
@@ -134,6 +135,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		//itp:wallclock — progress reporting only; never feeds the simulation
 		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
 }

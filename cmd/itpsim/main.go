@@ -157,8 +157,9 @@ func main() {
 			series = []string{*tracePath}
 		}
 		if err := exporter.Manifest(metrics.Manifest{
-			Tool:        "itpsim",
-			Git:         metrics.GitDescribe(),
+			Tool: "itpsim",
+			Git:  metrics.GitDescribe(),
+			//itp:wallclock — manifest timestamp only; never feeds the simulation
 			Time:        time.Now().UTC().Format(time.RFC3339),
 			ConfigHash:  metrics.ConfigHash(cfgJSON),
 			WindowInstr: mWindow,

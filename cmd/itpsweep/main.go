@@ -152,8 +152,9 @@ func main() {
 			}
 		}
 		if err := exporter.Manifest(metrics.Manifest{
-			Tool:        "itpsweep",
-			Git:         metrics.GitDescribe(),
+			Tool: "itpsweep",
+			Git:  metrics.GitDescribe(),
+			//itp:wallclock — manifest timestamp only; never feeds the simulation
 			Time:        time.Now().UTC().Format(time.RFC3339),
 			ConfigHash:  metrics.ConfigHash(cfgJSON),
 			WindowInstr: manifestWindow,
@@ -175,7 +176,7 @@ func main() {
 		mw := *metricsWindow
 		if mw == 0 {
 			if c := m.Controller(); c != nil {
-				mw = c.WindowInstr()
+				mw = uint64(c.WindowInstr())
 			} else {
 				mw = metrics.DefaultWindow
 			}

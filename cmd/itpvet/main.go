@@ -1,0 +1,115 @@
+// Command itpvet runs the itpsim static-analysis suite (internal/lint).
+//
+// It works two ways:
+//
+//	itpvet [packages]              # standalone: defaults to ./...
+//	go vet -vettool=$(which itpvet) ./...   # unitchecker mode
+//
+// In standalone mode it loads the named packages (plus in-module
+// dependencies for facts) with `go list -export` and prints diagnostics,
+// exiting 1 if there are any. In vettool mode the go command drives it
+// per package through the unitchecker protocol (-V=full, -flags, then a
+// single *.cfg argument); diagnostics go to stderr and findings exit 2,
+// matching `go vet` conventions.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"itpsim/internal/lint"
+	"itpsim/internal/lint/lintcore"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	analyzers := lint.All()
+
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V="):
+			// The go command fingerprints vet tools for its build cache.
+			return printVersion()
+		case args[0] == "-flags":
+			// No tool-specific flags are exposed to `go vet`.
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			diags, err := lintcore.RunUnitchecker(args[0], analyzers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "itpvet:", err)
+				return 1
+			}
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+			}
+			if len(diags) > 0 {
+				return 2
+			}
+			return 0
+		}
+	}
+
+	if len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		if args[0] == "-help" || args[0] == "--help" || args[0] == "-h" {
+			usage(analyzers)
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "itpvet: unknown flag %s\n", args[0])
+		usage(analyzers)
+		return 1
+	}
+
+	pkgs, err := lintcore.Load("", args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itpvet:", err)
+		return 1
+	}
+	found, err := lintcore.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itpvet:", err)
+		return 1
+	}
+	for _, d := range found {
+		fmt.Println(d)
+	}
+	if len(found) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printVersion implements `itpvet -V=full`: a name, version, and a
+// buildID that changes whenever the binary does, so `go vet` invalidates
+// its cache when the tool is rebuilt.
+func printVersion() int {
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		if f, ferr := os.Open(exe); ferr == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("itpvet version devel buildID=%x\n", h.Sum(nil))
+	return 0
+}
+
+func usage(analyzers []*lintcore.Analyzer) {
+	fmt.Fprintln(os.Stderr, "usage: itpvet [packages]   (default ./...)")
+	fmt.Fprintln(os.Stderr, "   or: go vet -vettool=$(command -v itpvet) ./...")
+	fmt.Fprintln(os.Stderr, "\nanalyzers:")
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, doc)
+	}
+}

@@ -63,7 +63,7 @@ func main() {
 		written, path, st.Size(), float64(st.Size())/float64(written))
 }
 
-func inspectTrace(path string) error {
+func inspectTrace(path string) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -73,7 +73,11 @@ func inspectTrace(path string) error {
 	if err != nil {
 		return err
 	}
-	defer r.Close()
+	defer func() {
+		if cerr := r.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	var in workload.Instr
 	var n, branches, loads, stores, deps uint64

@@ -35,7 +35,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m.RunWarmup([]workload.Stream{spec.NewStream()}, warmup, measure)
+		if _, err := m.RunWarmup([]workload.Stream{spec.NewStream()}, warmup, measure); err != nil {
+			log.Fatal(err)
+		}
 		return m
 	}
 

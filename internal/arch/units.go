@@ -1,0 +1,14 @@
+package arch
+
+// Cycle counts simulated clock cycles. Instr counts retired
+// instructions. Both are uint64 under the hood, which is exactly why
+// they are distinct defined types: a cycle budget silently compared
+// against an instruction count reproduces a class of simulator bug that
+// is invisible in review. The cycleunits analyzer (internal/lint)
+// additionally forbids conversions that launder one unit into the other
+// without an //itp:unitcast justification; extraction to plain uint64 at
+// API boundaries (metrics counters, JSON rows) stays free.
+type Cycle uint64
+
+// Instr counts retired instructions. See Cycle.
+type Instr uint64

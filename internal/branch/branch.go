@@ -41,6 +41,8 @@ func (*Fixed) Name() string { return "fixed" }
 
 // Correct draws whether this prediction is correct (helper used by the
 // simulator, which knows the true outcome).
+//
+//itp:hotpath
 func (f *Fixed) Correct() bool {
 	f.rng ^= f.rng << 13
 	f.rng ^= f.rng >> 7
@@ -50,9 +52,13 @@ func (f *Fixed) Correct() bool {
 
 // Predict implements Predictor; with a known outcome unavailable it
 // predicts taken and lets Correct() drive the simulator's decision.
+//
+//itp:hotpath
 func (f *Fixed) Predict(arch.Addr) bool { return f.Correct() }
 
 // Update implements Predictor (no state).
+//
+//itp:hotpath
 func (*Fixed) Update(arch.Addr, bool) {}
 
 // Perceptron is a hashed perceptron predictor: several weight tables
@@ -90,6 +96,7 @@ func NewPerceptron() *Perceptron {
 // Name implements Predictor.
 func (*Perceptron) Name() string { return "hashed-perceptron" }
 
+//itp:hotpath
 func (p *Perceptron) index(table int, pc arch.Addr) int {
 	hlen := p.hashLens[table]
 	var hist uint64
@@ -102,6 +109,8 @@ func (p *Perceptron) index(table int, pc arch.Addr) int {
 }
 
 // sum computes the perceptron output for pc.
+//
+//itp:hotpath
 func (p *Perceptron) sum(pc arch.Addr) int {
 	s := 0
 	for t := range p.tables {
@@ -111,10 +120,14 @@ func (p *Perceptron) sum(pc arch.Addr) int {
 }
 
 // Predict implements Predictor.
+//
+//itp:hotpath
 func (p *Perceptron) Predict(pc arch.Addr) bool { return p.sum(pc) >= 0 }
 
 // Update implements Predictor: train on mispredictions and low-confidence
 // correct predictions, then shift the outcome into the history.
+//
+//itp:hotpath
 func (p *Perceptron) Update(pc arch.Addr, taken bool) {
 	s := p.sum(pc)
 	predicted := s >= 0
@@ -133,6 +146,7 @@ func (p *Perceptron) Update(pc arch.Addr, taken bool) {
 	p.history = p.history<<1 | b2u(taken)
 }
 
+//itp:hotpath
 func abs(x int) int {
 	if x < 0 {
 		return -x
@@ -140,6 +154,7 @@ func abs(x int) int {
 	return x
 }
 
+//itp:hotpath
 func b2u(b bool) uint64 {
 	if b {
 		return 1

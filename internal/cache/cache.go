@@ -20,6 +20,7 @@ import (
 // Level is anything that can serve a block request and report when the
 // data is available: a Cache or the DRAM terminal.
 type Level interface {
+	//itp:hotpath
 	Access(now uint64, acc *arch.Access) (done uint64)
 }
 
@@ -115,9 +116,12 @@ func (c *Cache) Instrument(reg *metrics.Registry, prefix string) {
 	c.writebacksCtr = reg.Counter(prefix + ".writebacks")
 }
 
+//itp:hotpath
 func (c *Cache) setFor(block uint64) int { return int(block & c.setMask) }
 
 // lookup returns (setIdx, way) with way == -1 on miss.
+//
+//itp:hotpath
 func (c *Cache) lookup(block uint64, thread uint8) (int, int) {
 	si := c.setFor(block)
 	set := c.sets[si]
@@ -132,12 +136,16 @@ func (c *Cache) lookup(block uint64, thread uint8) (int, int) {
 }
 
 // Contains reports block residency without touching replacement state.
+//
+//itp:hotpath
 func (c *Cache) Contains(addr arch.Addr, thread uint8) bool {
 	_, w := c.lookup(arch.BlockNumber(addr), thread)
 	return w >= 0
 }
 
 // record notes an access outcome in the statistics sink.
+//
+//itp:hotpath
 func (c *Cache) record(acc *arch.Access, hit bool) {
 	if c.stats != nil {
 		c.stats.Record(stats.BucketFor(acc), hit)
@@ -145,6 +153,8 @@ func (c *Cache) record(acc *arch.Access, hit bool) {
 }
 
 // mshrLookup returns an in-flight entry for block, or nil.
+//
+//itp:hotpath
 func (c *Cache) mshrLookup(now uint64, block uint64, thread uint8) *mshrEntry {
 	for i := range c.mshrs {
 		e := &c.mshrs[i]
@@ -157,6 +167,8 @@ func (c *Cache) mshrLookup(now uint64, block uint64, thread uint8) *mshrEntry {
 
 // mshrAllocate finds a free MSHR; if all are busy the miss must wait
 // until the earliest completes (the returned start time).
+//
+//itp:hotpath
 func (c *Cache) mshrAllocate(now uint64) (*mshrEntry, uint64) {
 	var victim *mshrEntry
 	earliest := ^uint64(0)
@@ -173,6 +185,8 @@ func (c *Cache) mshrAllocate(now uint64) (*mshrEntry, uint64) {
 }
 
 // fill installs a block, evicting a victim per policy; returns the way.
+//
+//itp:hotpath
 func (c *Cache) fill(si int, acc *arch.Access) int {
 	set := c.sets[si]
 	way := c.policy.Victim(si, set, acc)
@@ -189,6 +203,7 @@ func (c *Cache) fill(si int, acc *arch.Access) int {
 			c.Writebacks++
 			c.writebacksCtr.Inc()
 			if c.writebackFn != nil {
+				//itp:nonalloc — bound at construction to DRAM.Writeback, which is allocation-free
 				c.writebackFn(0, arch.Addr(set[way].Tag)<<arch.BlockBits)
 			}
 		}
@@ -216,6 +231,8 @@ func (c *Cache) fill(si int, acc *arch.Access) int {
 // Access implements Level. It returns the cycle at which the block is
 // available to the requester; demand misses are recorded with their
 // observed latency.
+//
+//itp:hotpath
 func (c *Cache) Access(now uint64, acc *arch.Access) uint64 {
 	block := acc.Addr >> arch.BlockBits
 	si, way := c.lookup(block, acc.Thread)
@@ -297,6 +314,8 @@ func (c *Cache) Access(now uint64, acc *arch.Access) uint64 {
 
 // train feeds the prefetcher and issues its suggestions as Prefetch
 // accesses into this cache (fills propagate from the next level).
+//
+//itp:hotpath
 func (c *Cache) train(now uint64, acc *arch.Access) {
 	if c.prefetcher == nil || acc.Kind == arch.Prefetch || acc.Kind == arch.PTW {
 		return

@@ -45,6 +45,8 @@ func NewAdaptiveXPTP(p config.XPTPParams, enabled func() bool) *XPTP {
 func (x *XPTP) Name() string { return "xptp" }
 
 // Victim implements replacement.Policy.
+//
+//itp:hotpath
 func (x *XPTP) Victim(_ int, set []replacement.Line, _ *arch.Access) int {
 	if w := replacement.InvalidWay(set); w >= 0 {
 		return w
@@ -60,6 +62,7 @@ func (x *XPTP) Victim(_ int, set []replacement.Line, _ *arch.Access) int {
 			altVictim, altDepth = i, pos
 		}
 	}
+	//itp:nonalloc — bound at construction to Controller.Enabled, a field read
 	if x.enabled != nil && !x.enabled() {
 		return lruVictim // adaptive fallback: plain LRU
 	}
@@ -80,16 +83,22 @@ func (x *XPTP) Victim(_ int, set []replacement.Line, _ *arch.Access) int {
 // OnFill implements replacement.Policy: LRU insertion at MRU (the Type
 // bit is written by the cache when the fill completes, step 3.1 of
 // Figure 7).
+//
+//itp:hotpath
 func (*XPTP) OnFill(_ int, set []replacement.Line, way int, _ *arch.Access) {
 	replacement.MoveToStackPos(set, way, 0)
 }
 
 // OnHit implements replacement.Policy: LRU promotion.
+//
+//itp:hotpath
 func (*XPTP) OnHit(_ int, set []replacement.Line, way int, _ *arch.Access) {
 	replacement.MoveToStackPos(set, way, 0)
 }
 
 // OnEvict implements replacement.Policy.
+//
+//itp:hotpath
 func (*XPTP) OnEvict(int, []replacement.Line, int) {}
 
 // Controller is the phase-adaptive mechanism of Section 4.3.1: a
@@ -98,10 +107,10 @@ func (*XPTP) OnEvict(int, []replacement.Line, int) {}
 // compared against T1; the status bit selects xPTP when the count
 // exceeds T1 and LRU otherwise, and both counters reset.
 type Controller struct {
-	windowInstr uint64
+	windowInstr arch.Instr
 	t1          int
 
-	instrCount uint64
+	instrCount arch.Instr
 	missCount  int
 	useXPTP    bool
 
@@ -117,7 +126,7 @@ type Controller struct {
 
 // NewController builds the controller. T1 <= 0 pins xPTP on.
 func NewController(p config.XPTPParams) *Controller {
-	w := p.WindowInstr
+	w := arch.Instr(p.WindowInstr)
 	if w == 0 {
 		w = 1000
 	}
@@ -125,11 +134,15 @@ func NewController(p config.XPTPParams) *Controller {
 }
 
 // OnSTLBMiss records one STLB miss.
+//
+//itp:hotpath
 func (c *Controller) OnSTLBMiss() { c.missCount++ }
 
 // OnRetire records n retired instructions and closes windows as they
 // complete.
-func (c *Controller) OnRetire(n uint64) {
+//
+//itp:hotpath
+func (c *Controller) OnRetire(n arch.Instr) {
 	c.instrCount += n
 	for c.instrCount >= c.windowInstr {
 		c.instrCount -= c.windowInstr
@@ -144,6 +157,7 @@ func (c *Controller) OnRetire(n uint64) {
 			c.DisabledWindows++
 		}
 		if c.decisionHook != nil {
+			//itp:nonalloc — observability hook; nil in bare runs, counter bump under metrics
 			c.decisionHook(c.useXPTP, c.missCount)
 		}
 		c.missCount = 0
@@ -156,10 +170,12 @@ func (c *Controller) SetDecisionHook(fn func(enabled bool, misses int)) { c.deci
 
 // WindowInstr returns the controller's window size in retired
 // instructions.
-func (c *Controller) WindowInstr() uint64 { return c.windowInstr }
+func (c *Controller) WindowInstr() arch.Instr { return c.windowInstr }
 
 // T1 returns the controller's STLB-miss threshold.
 func (c *Controller) T1() int { return c.t1 }
 
 // Enabled reports whether xPTP's protecting eviction is active.
+//
+//itp:hotpath
 func (c *Controller) Enabled() bool { return c.useXPTP }

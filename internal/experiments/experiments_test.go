@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"itpsim/internal/arch"
 	"itpsim/internal/config"
 	"itpsim/internal/harness"
 	"itpsim/internal/stats"
@@ -371,7 +372,7 @@ func TestGeomeanSpeedupAgainstKnownValues(t *testing.T) {
 	mk := func(instr, cycles uint64) *stats.Sim {
 		s := stats.NewSim()
 		s.Instructions[0] = instr
-		s.Cycles = cycles
+		s.Cycles = arch.Cycle(cycles)
 		return s
 	}
 	bases := []*stats.Sim{mk(1000, 1000), mk(1000, 1000)}

@@ -373,7 +373,11 @@ func RunAll[R any](o Options, jobs []Job[R]) ([]Outcome[R], error) {
 		if err != nil {
 			return nil, fmt.Errorf("harness: checkpoint: %w", err)
 		}
-		defer ckpt.close()
+		defer func() {
+			if cerr := ckpt.close(); cerr != nil {
+				o.logf("harness: checkpoint close: %v", cerr)
+			}
+		}()
 	}
 
 	outs := make([]Outcome[R], len(jobs))

@@ -1,0 +1,104 @@
+// Package cycleunits keeps the simulator's two fundamental counters —
+// simulated cycles (arch.Cycle) and retired instructions (arch.Instr) —
+// from silently crossing. Go's type system already rejects direct
+// mixing of the two defined types; what it cannot catch is a conversion
+// that launders one unit into the other:
+//
+//	deadline := arch.Cycle(retired)          // Instr forced into Cycle
+//	w := arch.Instr(uint64(cycles) / ipc)    // Cycle smuggled via uint64
+//
+// This analyzer flags any conversion whose target is one unit while the
+// converted expression's subtree contains an operand of the other unit,
+// unless the site carries //itp:unitcast with a justification. Unit
+// types are recognized structurally — any defined type named Cycle or
+// Instr with uint64 underlying — so the check needs no configuration
+// and applies to test fixtures as well as internal/arch. Conversions
+// from plain integers into a unit, and extractions to uint64 at API
+// boundaries (metrics counters), remain free. Test files are exempt.
+package cycleunits
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"itpsim/internal/lint/lintcore"
+)
+
+// Analyzer is the cycleunits check.
+var Analyzer = &lintcore.Analyzer{
+	Name: "cycleunits",
+	Doc:  "forbid Cycle<->Instr unit crossings hidden inside conversions",
+	Run:  run,
+}
+
+func run(pass *lintcore.Pass) error {
+	pkg := pass.Pkg
+	dirs := pkg.Directives()
+	for _, file := range pkg.Files {
+		if pkg.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[call.Fun]
+			if !ok || !tv.IsType() || len(call.Args) != 1 {
+				return true
+			}
+			target := unitOf(tv.Type)
+			if target == "" {
+				return true
+			}
+			other := "Instr"
+			if target == "Instr" {
+				other = "Cycle"
+			}
+			if pos, found := findUnit(pkg.Info, call.Args[0], other); found &&
+				!dirs.Covers(call.Pos(), lintcore.DirUnitcast) {
+				pass.Reportf(pos, "%s value converted into %s: unit crossing needs an explicit //itp:unitcast justification", other, target)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unitOf reports "Cycle" or "Instr" if t is a defined type of that name
+// with uint64 underlying, else "".
+func unitOf(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	name := named.Obj().Name()
+	if name != "Cycle" && name != "Instr" {
+		return ""
+	}
+	if b, ok := named.Underlying().(*types.Basic); ok && b.Kind() == types.Uint64 {
+		return name
+	}
+	return ""
+}
+
+// findUnit reports whether any expression in e's subtree has the given
+// unit type, returning the position of the first such operand.
+func findUnit(info *types.Info, e ast.Expr, unit string) (pos token.Pos, found bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if unitOf(info.TypeOf(expr)) == unit {
+			pos, found = expr.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

@@ -1,0 +1,12 @@
+package cycleunits
+
+import (
+	"testing"
+
+	"itpsim/internal/lint/lintcore"
+	"itpsim/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, []*lintcore.Analyzer{Analyzer}, "./testdata/src/units")
+}

@@ -1,0 +1,26 @@
+// Package units is a cycleunits fixture: local Cycle/Instr defined
+// types mirror itpsim/internal/arch.
+package units
+
+// Cycle counts simulated clock cycles.
+type Cycle uint64
+
+// Instr counts retired instructions.
+type Instr uint64
+
+// Phase is a uint64 defined type that is NOT a unit.
+type Phase uint64
+
+// Mix exercises conversions between the units.
+func Mix(c Cycle, i Instr, raw uint64, p Phase) uint64 {
+	a := Cycle(raw)           // plain integer into a unit: ok
+	b := Instr(raw)           // ok
+	d := uint64(c)            // extraction at an API boundary: ok
+	e := Cycle(p)             // non-unit defined type: ok
+	f := Cycle(i)             // want `Instr value converted into Cycle`
+	g := Instr(c)             // want `Cycle value converted into Instr`
+	h := Cycle(uint64(i) * 2) // want `Instr value converted into Cycle`
+	//itp:unitcast fixed-IPC estimate documented in the experiment plan
+	j := Instr(uint64(c) / 2)
+	return uint64(a) + uint64(b) + d + uint64(e) + uint64(f) + uint64(g) + uint64(h) + uint64(j)
+}

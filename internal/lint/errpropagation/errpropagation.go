@@ -1,0 +1,170 @@
+// Package errpropagation forbids silently discarded errors from the
+// I/O-bearing seams whose failures invalidate an experiment: trace
+// ingestion (itpsim/internal/trace), harness checkpoint/resume state
+// (itpsim/internal/harness), metrics export (itpsim/internal/metrics),
+// and the top-level sim.Run/RunWarmup drivers. A dropped error from any
+// of these can publish results computed from a truncated trace or a
+// half-written checkpoint.
+//
+// Flagged forms (non-test files):
+//
+//	r.Decode(&rec)            // expression statement, error unread
+//	n, _ := rd.Next()         // error result assigned to blank
+//	defer w.Close()           // deferred call, error unread
+//	go exp.Flush()            // goroutine, error unread
+//
+// A site that genuinely does not care (an unlink on a best-effort temp
+// file, say) carries //itp:ignore-err with a reason. Errors that are
+// read and then handled — even by logging — are out of scope; this
+// analyzer only catches errors no code can ever see.
+package errpropagation
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"itpsim/internal/lint/lintcore"
+)
+
+// watchedPkgs are the packages all of whose error-returning functions
+// and methods are watched.
+var watchedPkgs = map[string]bool{
+	"itpsim/internal/trace":   true,
+	"itpsim/internal/harness": true,
+	"itpsim/internal/metrics": true,
+}
+
+// Watched decides whether fn's error return must be consumed. It is a
+// variable so analyzer tests can watch fixture packages instead.
+var Watched = func(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if watchedPkgs[pkg.Path()] {
+		return true
+	}
+	if pkg.Path() == "itpsim/internal/sim" {
+		return fn.Name() == "Run" || fn.Name() == "RunWarmup"
+	}
+	return false
+}
+
+// Analyzer is the errpropagation check.
+var Analyzer = &lintcore.Analyzer{
+	Name: "errpropagation",
+	Doc:  "forbid discarded errors from trace ingestion, checkpoint I/O, metrics export, and sim.Run",
+	Run:  run,
+}
+
+func run(pass *lintcore.Pass) error {
+	pkg := pass.Pkg
+	dirs := pkg.Directives()
+	for _, file := range pkg.Files {
+		if pkg.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(pass, dirs, call, "result ignored")
+				}
+			case *ast.DeferStmt:
+				check(pass, dirs, n.Call, "deferred with its error unread (capture it in a closure)")
+			case *ast.GoStmt:
+				check(pass, dirs, n.Call, "started as a goroutine with its error unread")
+			case *ast.AssignStmt:
+				checkAssign(pass, dirs, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// watchedCall resolves call's callee; it returns the function if its
+// error return is watched, along with the index of the error result.
+func watchedCall(pass *lintcore.Pass, call *ast.CallExpr) (*types.Func, int) {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pass.Pkg.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Pkg.Info.Selections[fun]; ok {
+			fn, _ = sel.Obj().(*types.Func)
+		} else {
+			fn, _ = pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+		}
+	}
+	if fn == nil || !Watched(fn) {
+		return nil, -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, -1
+	}
+	res := sig.Results()
+	for i := res.Len() - 1; i >= 0; i-- {
+		if isErrorType(res.At(i).Type()) {
+			return fn, i
+		}
+	}
+	return nil, -1
+}
+
+func check(pass *lintcore.Pass, dirs *lintcore.Directives, call *ast.CallExpr, how string) {
+	fn, _ := watchedCall(pass, call)
+	if fn == nil {
+		return
+	}
+	if dirs.Covers(call.Pos(), lintcore.DirIgnoreErr) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s %s: a dropped failure here can silently invalidate results (//itp:ignore-err with a reason if truly best-effort)", displayName(fn), how)
+}
+
+// checkAssign flags `x, _ := watched()` where the blank lands on the
+// error result.
+func checkAssign(pass *lintcore.Pass, dirs *lintcore.Directives, assign *ast.AssignStmt) {
+	// Only the single-call multi-value form can discard one result:
+	// a, b := f().
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, errIdx := watchedCall(pass, call)
+	if fn == nil || errIdx < 0 || errIdx >= len(assign.Lhs) {
+		return
+	}
+	lhs, ok := assign.Lhs[errIdx].(*ast.Ident)
+	if !ok || lhs.Name != "_" {
+		return
+	}
+	if dirs.Covers(call.Pos(), lintcore.DirIgnoreErr) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "error from %s assigned to _: a dropped failure here can silently invalidate results (//itp:ignore-err with a reason if truly best-effort)", displayName(fn))
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// displayName shortens FullName for diagnostics: the package path keeps
+// only its last element.
+func displayName(fn *types.Func) string {
+	full := lintcore.FuncFullName(fn)
+	if i := strings.LastIndex(full, "/"); i >= 0 {
+		if open := strings.IndexByte(full, '('); open >= 0 && open < i {
+			return full[:open+1] + full[i+1:]
+		}
+		return full[i+1:]
+	}
+	return full
+}

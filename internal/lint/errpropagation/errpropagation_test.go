@@ -1,0 +1,34 @@
+package errpropagation
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+
+	"itpsim/internal/lint/lintcore"
+	"itpsim/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	old := Watched
+	Watched = func(fn *types.Func) bool {
+		return fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "errpropagation/testdata/src/api")
+	}
+	defer func() { Watched = old }()
+
+	linttest.Run(t, []*lintcore.Analyzer{Analyzer},
+		"./testdata/src/api", "./testdata/src/use")
+}
+
+func TestWatchedDefault(t *testing.T) {
+	// The default predicate keys off package paths; check the seam list
+	// by probing the map directly plus the sim special case.
+	for _, pkg := range []string{"itpsim/internal/trace", "itpsim/internal/harness", "itpsim/internal/metrics"} {
+		if !watchedPkgs[pkg] {
+			t.Errorf("watchedPkgs[%q] = false, want true", pkg)
+		}
+	}
+	if watchedPkgs["itpsim/internal/sim"] {
+		t.Error("sim must not be blanket-watched; only Run/RunWarmup are")
+	}
+}

@@ -1,0 +1,26 @@
+// Package api is an errpropagation fixture: the analyzer test marks it
+// watched, standing in for trace/harness/metrics I/O seams.
+package api
+
+import "errors"
+
+// Reader mimics a trace reader.
+type Reader struct{ n int }
+
+// Next returns the next record.
+func (r *Reader) Next() (int, error) {
+	if r.n == 0 {
+		return 0, errors.New("eof")
+	}
+	r.n--
+	return r.n, nil
+}
+
+// Close flushes and closes.
+func (r *Reader) Close() error { return nil }
+
+// Flush exports buffered state.
+func Flush() error { return nil }
+
+// Peek has no error result and is never flagged.
+func (r *Reader) Peek() int { return r.n }

@@ -1,0 +1,30 @@
+// Package use is the errpropagation consumer fixture.
+package use
+
+import "itpsim/internal/lint/errpropagation/testdata/src/api"
+
+// Drain exercises every discarded-error form.
+func Drain(r *api.Reader) int {
+	api.Flush()      // want `error from api.Flush result ignored`
+	defer r.Close()  // want `error from \(api.Reader\).Close deferred with its error unread`
+	go api.Flush()   // want `error from api.Flush started as a goroutine`
+	n, _ := r.Next() // want `error from \(api.Reader\).Next assigned to _`
+	_ = api.Flush()  // want `error from api.Flush assigned to _`
+	m := r.Peek()    // no error result: ok
+
+	v, err := r.Next() // consumed: ok
+	if err != nil {
+		v = 0
+	}
+	if err := api.Flush(); err != nil { // consumed: ok
+		v++
+	}
+	//itp:ignore-err best-effort flush on the diagnostics path
+	api.Flush()
+	defer func() { // deferred error captured in a closure: ok
+		if err := r.Close(); err != nil {
+			v++
+		}
+	}()
+	return n + m + v
+}

@@ -1,0 +1,47 @@
+package errpropagation
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func fakeFunc(pkgPath, name string) *types.Func {
+	var pkg *types.Package
+	if pkgPath != "" {
+		pkg = types.NewPackage(pkgPath, "x")
+	}
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	return types.NewFunc(token.NoPos, pkg, name, sig)
+}
+
+func TestDefaultWatched(t *testing.T) {
+	cases := []struct {
+		pkg, name string
+		want      bool
+	}{
+		{"itpsim/internal/trace", "Close", true},
+		{"itpsim/internal/harness", "Save", true},
+		{"itpsim/internal/metrics", "Export", true},
+		{"itpsim/internal/sim", "Run", true},
+		{"itpsim/internal/sim", "RunWarmup", true},
+		{"itpsim/internal/sim", "NewMachine", false},
+		{"itpsim/internal/cache", "Access", false},
+		{"fmt", "Println", false},
+		{"", "Error", false},
+	}
+	for _, c := range cases {
+		if got := Watched(fakeFunc(c.pkg, c.name)); got != c.want {
+			t.Errorf("Watched(%s.%s) = %v, want %v", c.pkg, c.name, got, c.want)
+		}
+	}
+}
+
+func TestDisplayName(t *testing.T) {
+	if got := displayName(fakeFunc("itpsim/internal/trace", "Open")); got != "trace.Open" {
+		t.Errorf("displayName = %q", got)
+	}
+	if got := displayName(fakeFunc("main", "run")); got != "main.run" {
+		t.Errorf("displayName = %q", got)
+	}
+}

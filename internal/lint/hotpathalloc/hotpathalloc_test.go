@@ -1,0 +1,13 @@
+package hotpathalloc
+
+import (
+	"testing"
+
+	"itpsim/internal/lint/lintcore"
+	"itpsim/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, []*lintcore.Analyzer{Analyzer},
+		"./testdata/src/hotdep", "./testdata/src/hot")
+}

@@ -1,0 +1,95 @@
+// Package hot is the main hotpathalloc fixture: a hot-path function
+// exercising every flagged construct and every sanctioned escape.
+package hot
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"itpsim/internal/lint/hotpathalloc/testdata/src/hotdep"
+)
+
+type state struct {
+	count  atomic.Uint64
+	buf    []int
+	lookup map[int]int
+	pol    hotdep.Policy
+	hook   func(int) int
+}
+
+type point struct{ x, y int }
+
+// step is the checked hot path.
+//
+//itp:hotpath
+func step(s *state, set []int) int {
+	n := local(len(set))         // annotated local callee: ok
+	n += hotdep.Fast(n)          // annotated imported callee (fact): ok
+	n += bits.OnesCount(uint(n)) // math/bits allowlist: ok
+	s.count.Add(1)               // sync/atomic allowlist: ok
+	p := point{x: n, y: n}       // value composite literal: ok
+	n += p.x + s.lookup[n]       // map read: ok
+	n += s.pol.Victim(set)       // //itp:hotpath interface method: ok
+	delete(s.lookup, n)          // allowed builtin: ok
+
+	q := &point{x: n}        // want `&composite literal on the hot path`
+	v := []int{1, 2, n}      // want `slice/map literal on the hot path`
+	w := make([]int, n)      // want `make on the hot path`
+	r := new(point)          // want `new on the hot path`
+	s.buf = append(s.buf, n) // want `append on the hot path`
+	f := func(x int) int {   // want `closure on the hot path`
+		return x * x
+	}
+	n += s.hook(n)          // want `dynamic call through field hook`
+	n += helper(n)          // want `call to itpsim/internal/lint/hotpathalloc/testdata/src/hot.helper from the hot path`
+	n += hotdep.Slow(n)[0]  // want `call to itpsim/internal/lint/hotpathalloc/testdata/src/hotdep.Slow from the hot path`
+	s.pol.Rebuild()         // want `dynamic dispatch through \(itpsim/internal/lint/hotpathalloc/testdata/src/hotdep.Policy\).Rebuild`
+	n += len(fmt.Sprint(n)) // want `call to fmt.Sprint from the hot path` `argument boxes int into interface`
+
+	s.buf = hotdep.Reviewed(s.buf, n) // //itp:nonalloc imported callee: ok
+	s.buf = append(s.buf, n)          //itp:nonalloc capacity reserved at construction
+	n += s.hook(n)                    //itp:nonalloc hook is a statically installed non-capturing func
+
+	//itp:cold diagnostics path, runs once per 64K steps
+	if n == 0 {
+		s.lookup = make(map[int]int)
+		go func() { _ = fmt.Sprint(n) }()
+	}
+
+	var sink any = s // assignment boxing is outside this analyzer's scope
+	_ = sink
+	_, _, _, _, _ = q, v, w, r, f
+	return n
+}
+
+// local is a hot leaf.
+//
+//itp:hotpath
+func local(x int) int { return x * 2 }
+
+// helper is deliberately unannotated.
+func helper(x int) int { return x + 3 }
+
+// boxing exercises interface-argument and conversion checks.
+//
+//itp:hotpath
+func boxing(s *state, n int) {
+	sinkAny(nil)      // nil: ok
+	sinkAny(42)       // constant: ok
+	sinkAny(n)        // want `argument boxes int into interface`
+	_ = any(n)        // want `conversion to interface type any on the hot path`
+	b := []byte{1}    // want `slice/map literal on the hot path`
+	_ = string(b)     // want `\[\]byte/\[\]rune to string conversion on the hot path`
+	name := "a" + "b" // constant concatenation folds: ok
+	name += nameOf(s) // want `string concatenation on the hot path` `call to itpsim/internal/lint/hotpathalloc/testdata/src/hot.nameOf from the hot path`
+	go run(s)         // want `go statement on the hot path` `call to itpsim/internal/lint/hotpathalloc/testdata/src/hot.run from the hot path`
+	_ = name
+}
+
+//itp:hotpath
+func sinkAny(v any) { _ = v }
+
+func nameOf(s *state) string { return "s" }
+
+func run(s *state) {}

@@ -1,0 +1,25 @@
+// Package hotdep is a hotpathalloc fixture dependency: its annotations
+// must reach importing packages as facts.
+package hotdep
+
+// Fast is part of the hot path.
+//
+//itp:hotpath
+func Fast(x int) int { return x + 1 }
+
+// Reviewed is vouched allocation-free but not itself checked.
+//
+//itp:nonalloc append stays within the pre-sized backing array
+func Reviewed(dst []int, x int) []int { return append(dst, x) }
+
+// Slow allocates freely and is not annotated.
+func Slow(n int) []int { return make([]int, n) }
+
+// Policy is an interface whose method is declared hot.
+type Policy interface {
+	//itp:hotpath
+	Victim(set []int) int
+
+	// Rebuild is cold-path maintenance.
+	Rebuild()
+}

@@ -1,0 +1,118 @@
+package lintcore
+
+import (
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFactsAccessors(t *testing.T) {
+	facts := NewFacts()
+	facts.set("pkg/a", "check", "k1", "v1")
+	facts.set("pkg/a", "check", "k2", "v2")
+	facts.set("pkg/b", "other", "k", "v")
+
+	pass := &Pass{
+		Analyzer: &Analyzer{Name: "check"},
+		Pkg:      &Package{ImportPath: "pkg/c"},
+		facts:    facts,
+	}
+	if got := pass.FactPackages(); len(got) != 1 || got[0] != "pkg/a" {
+		t.Errorf("FactPackages = %v", got)
+	}
+	if got := pass.FactKeys("pkg/a"); len(got) != 2 || got[0] != "k1" || got[1] != "k2" {
+		t.Errorf("FactKeys = %v", got)
+	}
+	if v, ok := pass.Fact("pkg/a", "k1"); !ok || v != "v1" {
+		t.Errorf("Fact = %q, %v", v, ok)
+	}
+	if _, ok := pass.Fact("pkg/b", "k"); ok {
+		t.Error("Fact crossed analyzer namespaces")
+	}
+}
+
+func TestTypeIsMap(t *testing.T) {
+	m := types.NewMap(types.Typ[types.Int], types.Typ[types.Int])
+	if !TypeIsMap(m) {
+		t.Error("map not detected")
+	}
+	named := types.NewNamed(types.NewTypeName(token.NoPos, nil, "M", nil), m, nil)
+	if !TypeIsMap(named) {
+		t.Error("named map not detected")
+	}
+	if TypeIsMap(types.Typ[types.Int]) || TypeIsMap(nil) {
+		t.Error("non-map misdetected")
+	}
+}
+
+func TestFuncFullNameHelper(t *testing.T) {
+	pkg := types.NewPackage("itpsim/internal/x", "x")
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	fn := types.NewFunc(token.NoPos, pkg, "F", sig)
+	if got := FuncFullName(fn); got != "itpsim/internal/x.F" {
+		t.Errorf("FuncFullName = %q", got)
+	}
+}
+
+func TestSortDiagnostics(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "b.go", Line: 1, Column: 1}, Message: "m"},
+		{Pos: token.Position{Filename: "a.go", Line: 2, Column: 1}, Message: "m"},
+		{Pos: token.Position{Filename: "a.go", Line: 1, Column: 2}, Message: "z"},
+		{Pos: token.Position{Filename: "a.go", Line: 1, Column: 2}, Message: "a"},
+		{Pos: token.Position{Filename: "a.go", Line: 1, Column: 1}, Message: "m"},
+	}
+	sortDiagnostics(diags)
+	order := func(i int) string { return diags[i].Pos.Filename + diags[i].Message }
+	want := []string{"a.gom", "a.goa", "a.goz", "a.gom", "b.gom"}
+	for i, w := range want {
+		if order(i) != w {
+			t.Fatalf("order[%d] = %v, want %v (all: %v)", i, order(i), w, diags)
+		}
+	}
+}
+
+func TestVetxRoundTrip(t *testing.T) {
+	// Empty path: silently skipped.
+	if err := writeVetx("", map[string]map[string]string{"a": {"k": "v"}}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.vetx")
+	if err := writeVetx(path, map[string]map[string]string{"a": {"k": "v"}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readVetx(path)
+	if err != nil || got["a"]["k"] != "v" {
+		t.Fatalf("round trip = %v, %v", got, err)
+	}
+	// Missing and empty files read as no facts.
+	if got, err := readVetx(filepath.Join(t.TempDir(), "enoent")); err != nil || got != nil {
+		t.Fatalf("missing vetx = %v, %v", got, err)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.vetx")
+	if err := os.WriteFile(empty, nil, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := readVetx(empty); err != nil || got != nil {
+		t.Fatalf("empty vetx = %v, %v", got, err)
+	}
+	// Corrupt files are errors.
+	bad := filepath.Join(t.TempDir(), "bad.vetx")
+	if err := os.WriteFile(bad, []byte("{"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readVetx(bad); err == nil {
+		t.Error("corrupt vetx not rejected")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("", "./testdata/src/enoent"); err == nil {
+		t.Error("nonexistent pattern not rejected")
+	}
+	if _, err := runGoList("", []string{"list", "-json", "./no/such/dir"}); err == nil {
+		t.Error("runGoList error not surfaced")
+	}
+}

@@ -1,0 +1,282 @@
+package lintcore
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const (
+	depPath  = "itpsim/internal/lint/lintcore/testdata/src/deppkg"
+	mainPath = "itpsim/internal/lint/lintcore/testdata/src/mainpkg"
+)
+
+// badFuncAnalyzer flags functions named Bad* and exports every function
+// name as a fact, so both reporting and fact flow are observable.
+func badFuncAnalyzer(sawDepFact *bool) *Analyzer {
+	return &Analyzer{
+		Name: "badfunc",
+		Doc:  "flag Bad* functions (lintcore self-test)",
+		Run: func(pass *Pass) error {
+			if pass.Pkg.ImportPath == mainPath {
+				if _, ok := pass.Fact(depPath, "BadThing"); ok {
+					*sawDepFact = true
+				}
+			}
+			for _, file := range pass.Pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					pass.ExportFact(fd.Name.Name, "seen")
+					if strings.HasPrefix(fd.Name.Name, "Bad") {
+						pass.Reportf(fd.Name.Pos(), "bad function %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func TestLoadAndRun(t *testing.T) {
+	pkgs, err := Load("", "./testdata/src/mainpkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotDep, gotMain bool
+	for _, p := range pkgs {
+		switch p.ImportPath {
+		case depPath:
+			gotDep = true
+			if p.Target {
+				t.Error("deppkg wrongly marked Target")
+			}
+		case mainPath:
+			gotMain = true
+			if !p.Target {
+				t.Error("mainpkg not marked Target")
+			}
+		}
+	}
+	if !gotDep || !gotMain {
+		t.Fatalf("load missed packages: dep=%v main=%v", gotDep, gotMain)
+	}
+
+	var sawDepFact bool
+	diags, err := Run(pkgs, []*Analyzer{badFuncAnalyzer(&sawDepFact)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawDepFact {
+		t.Error("fact exported by deppkg not visible in mainpkg pass")
+	}
+	// Only the target package's diagnostics survive: BadLocal yes,
+	// deppkg.BadThing no.
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "BadLocal") {
+		t.Fatalf("diagnostics = %v, want exactly BadLocal", diags)
+	}
+	if s := diags[0].String(); !strings.Contains(s, "mainpkg.go") || !strings.Contains(s, "[badfunc]") {
+		t.Errorf("Diagnostic.String() = %q", s)
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	pkgs, err := Load("", "./testdata/src/mainpkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkg *Package
+	for _, p := range pkgs {
+		if p.ImportPath == mainPath {
+			pkg = p
+		}
+	}
+	dirs := pkg.Directives()
+	if len(dirs.All()) != 2 {
+		t.Fatalf("directives = %v, want 2", dirs.All())
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			annotated := FuncAnnotated(dirs, fd, DirHotpath)
+			if want := fd.Name.Name == "Use"; annotated != want {
+				t.Errorf("FuncAnnotated(%s, hotpath) = %v, want %v", fd.Name.Name, annotated, want)
+			}
+			if fd.Name.Name == "Use" {
+				ret := fd.Body.List[len(fd.Body.List)-1]
+				if !dirs.Covers(ret.Pos(), DirCold) {
+					t.Error("//itp:cold does not cover the following line")
+				}
+				if dirs.Covers(ret.Pos(), DirWallclock) {
+					t.Error("Covers matched a directive that is not there")
+				}
+			}
+		}
+	}
+	if pkg.IsTestFile(pkg.Files[0].Pos()) {
+		t.Error("mainpkg.go misdetected as a test file")
+	}
+}
+
+// listForUnitchecker gathers export data for the fixture closure.
+func listForUnitchecker(t *testing.T) (pkgByPath map[string]listPkg, exports map[string]string) {
+	t.Helper()
+	out, err := runGoList("", []string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,Error", "./testdata/src/mainpkg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgByPath = map[string]listPkg{}
+	exports = map[string]string{}
+	for dec := json.NewDecoder(bytes.NewReader(out)); ; {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		pkgByPath[p.ImportPath] = p
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return pkgByPath, exports
+}
+
+func writeCfg(t *testing.T, cfg vetConfig) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "unit.cfg")
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func absFiles(p listPkg) []string {
+	files := make([]string, len(p.GoFiles))
+	for i, f := range p.GoFiles {
+		files[i] = filepath.Join(p.Dir, f)
+	}
+	return files
+}
+
+func TestUnitchecker(t *testing.T) {
+	pkgs, exports := listForUnitchecker(t)
+	tmp := t.TempDir()
+	depVetx := filepath.Join(tmp, "dep.vetx")
+	mainVetx := filepath.Join(tmp, "main.vetx")
+
+	var sawDepFact bool
+	analyzers := []*Analyzer{badFuncAnalyzer(&sawDepFact)}
+
+	// Facts-only pass over the dependency.
+	dep := pkgs[depPath]
+	diags, err := RunUnitchecker(writeCfg(t, vetConfig{
+		ID: depPath, Compiler: "gc", Dir: dep.Dir, ImportPath: depPath,
+		GoFiles: absFiles(dep), ModulePath: "itpsim",
+		ImportMap:   map[string]string{},
+		PackageFile: exports,
+		VetxOnly:    true, VetxOutput: depVetx,
+	}), analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("VetxOnly pass returned diagnostics: %v", diags)
+	}
+	depFacts, err := readVetx(depVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depFacts["badfunc"]["BadThing"] != "seen" {
+		t.Fatalf("dep vetx facts = %v", depFacts)
+	}
+
+	// Checked pass over the target, importing the dependency's facts.
+	main := pkgs[mainPath]
+	diags, err = RunUnitchecker(writeCfg(t, vetConfig{
+		ID: mainPath, Compiler: "gc", Dir: main.Dir, ImportPath: mainPath,
+		GoFiles: absFiles(main), ModulePath: "itpsim",
+		ImportMap:   map[string]string{},
+		PackageFile: exports,
+		PackageVetx: map[string]string{depPath: depVetx},
+		VetxOutput:  mainVetx,
+	}), analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawDepFact {
+		t.Error("dep facts not visible through PackageVetx")
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "BadLocal") {
+		t.Fatalf("diagnostics = %v, want exactly BadLocal", diags)
+	}
+
+	// Out-of-module (stdlib) config: skip, but write an empty vetx.
+	stdVetx := filepath.Join(tmp, "std.vetx")
+	diags, err = RunUnitchecker(writeCfg(t, vetConfig{
+		ID: "fmt", ImportPath: "fmt", VetxOutput: stdVetx,
+	}), analyzers)
+	if err != nil || len(diags) != 0 {
+		t.Fatalf("stdlib cfg: diags=%v err=%v", diags, err)
+	}
+	if facts, err := readVetx(stdVetx); err != nil || len(facts) != 0 {
+		t.Fatalf("stdlib vetx = %v, %v", facts, err)
+	}
+}
+
+func TestUnitcheckerTypecheckFailure(t *testing.T) {
+	brokenDir, err := filepath.Abs("testdata/src/broken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := vetConfig{
+		ID: "broken", Compiler: "gc", Dir: brokenDir, ImportPath: "broken",
+		GoFiles:    []string{filepath.Join(brokenDir, "broken.go")},
+		ModulePath: "itpsim",
+	}
+
+	var saw bool
+	analyzers := []*Analyzer{badFuncAnalyzer(&saw)}
+
+	if _, err := RunUnitchecker(writeCfg(t, base), analyzers); err == nil {
+		t.Error("type-check failure not reported")
+	}
+
+	tolerant := base
+	tolerant.SucceedOnTypecheckFailure = true
+	tolerant.VetxOutput = filepath.Join(t.TempDir(), "broken.vetx")
+	if _, err := RunUnitchecker(writeCfg(t, tolerant), analyzers); err != nil {
+		t.Errorf("SucceedOnTypecheckFailure still failed: %v", err)
+	}
+}
+
+func TestFuncFullName(t *testing.T) {
+	pkgs, err := Load("", "./testdata/src/mainpkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if p.ImportPath != mainPath {
+			continue
+		}
+		fn := p.Types.Scope().Lookup("Use")
+		if got := fn.(interface{ FullName() string }).FullName(); got != mainPath+".Use" {
+			t.Errorf("FullName = %q", got)
+		}
+	}
+}

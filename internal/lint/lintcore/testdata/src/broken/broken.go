@@ -1,0 +1,6 @@
+// Package broken deliberately fails type-checking; the unitchecker test
+// uses it to exercise SucceedOnTypecheckFailure. It parses fine.
+package broken
+
+// Boom references an undefined name.
+func Boom() int { return undefinedName }

@@ -1,0 +1,8 @@
+// Package deppkg is a lintcore fixture dependency.
+package deppkg
+
+// Exported is visible to mainpkg.
+func Exported() int { return 1 }
+
+// BadThing is flagged by the test analyzer.
+func BadThing() int { return 2 }

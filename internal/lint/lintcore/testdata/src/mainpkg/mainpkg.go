@@ -1,0 +1,16 @@
+// Package mainpkg is the lintcore fixture target; it imports deppkg so
+// fact flow across packages can be observed.
+package mainpkg
+
+import "itpsim/internal/lint/lintcore/testdata/src/deppkg"
+
+// Use consumes the dependency.
+//
+//itp:hotpath
+func Use() int {
+	//itp:cold fixture directive
+	return deppkg.Exported()
+}
+
+// BadLocal is flagged by the test analyzer.
+func BadLocal() int { return 3 }

@@ -1,0 +1,135 @@
+package lintcore
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+)
+
+// vetConfig mirrors the *.cfg JSON file `go vet -vettool` hands the tool
+// for each package (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker analyzes the single package described by the cfg file,
+// reading dependency facts from the vetx files the go command recorded
+// and writing this package's facts to cfg.VetxOutput. Diagnostics are
+// returned only when the go command asked for them (VetxOnly=false).
+//
+// Standard-library and out-of-module packages are not analyzed: the
+// itpvet analyzers only constrain this repository's source, so those
+// packages get an empty fact file and no diagnostics.
+func RunUnitchecker(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, fmt.Errorf("lintcore: reading vet config: %w", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("lintcore: parsing vet config %s: %w", cfgPath, err)
+	}
+
+	// Out-of-module packages (the standard library during `go vet ./...`)
+	// carry no itpvet facts and no diagnostics.
+	if cfg.ModulePath == "" || len(cfg.GoFiles) == 0 {
+		return nil, writeVetx(cfg.VetxOutput, nil)
+	}
+
+	facts := NewFacts()
+	for path, vetxFile := range cfg.PackageVetx {
+		pf, err := readVetx(vetxFile)
+		if err != nil {
+			return nil, err
+		}
+		if len(pf) > 0 {
+			facts.ImportPackageFacts(path, pf)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (string, error) {
+		canon := path
+		if c, ok := cfg.ImportMap[path]; ok {
+			canon = c
+		}
+		f, ok := cfg.PackageFile[canon]
+		if !ok {
+			return "", fmt.Errorf("no export file for %q", canon)
+		}
+		return f, nil
+	})
+
+	pkg, err := TypecheckPackage(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, writeVetx(cfg.VetxOutput, nil)
+		}
+		return nil, err
+	}
+	pkg.Target = !cfg.VetxOnly
+
+	var diags []Diagnostic
+	report := func(d Diagnostic) {
+		if pkg.Target {
+			diags = append(diags, d)
+		}
+	}
+	if err := runPackage(pkg, analyzers, facts, report); err != nil {
+		return nil, err
+	}
+	sortDiagnostics(diags)
+	return diags, writeVetx(cfg.VetxOutput, facts.PackageFacts(cfg.ImportPath))
+}
+
+func writeVetx(path string, facts map[string]map[string]string) error {
+	if path == "" {
+		return nil
+	}
+	if facts == nil {
+		facts = map[string]map[string]string{}
+	}
+	data, err := json.Marshal(facts)
+	if err != nil {
+		return fmt.Errorf("lintcore: encoding facts: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		return fmt.Errorf("lintcore: writing facts: %w", err)
+	}
+	return nil
+}
+
+func readVetx(path string) (map[string]map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("lintcore: reading facts: %w", err)
+	}
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var facts map[string]map[string]string
+	if err := json.Unmarshal(data, &facts); err != nil {
+		return nil, fmt.Errorf("lintcore: parsing facts %s: %w", path, err)
+	}
+	return facts, nil
+}

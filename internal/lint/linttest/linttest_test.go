@@ -1,0 +1,71 @@
+package linttest
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"itpsim/internal/lint/lintcore"
+)
+
+// funcLitAnalyzer flags every func literal — enough to drive the
+// harness end to end.
+var funcLitAnalyzer = &lintcore.Analyzer{
+	Name: "funclit",
+	Doc:  "flag func literals (harness self-test)",
+	Run: func(pass *lintcore.Pass) error {
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					pass.Reportf(n.Pos(), "func literal")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestHarnessReportsMismatches(t *testing.T) {
+	problems := runImpl([]*lintcore.Analyzer{funcLitAnalyzer}, "./testdata/src/fixture")
+	var unexpected, unmatchedWant bool
+	for _, p := range problems {
+		if strings.Contains(p, "unexpected diagnostic") && strings.Contains(p, "func literal") {
+			unexpected = true
+		}
+		if strings.Contains(p, `no diagnostic matched want "never-fires"`) {
+			unmatchedWant = true
+		}
+	}
+	if !unexpected {
+		t.Errorf("harness missed the unannotated diagnostic; problems: %v", problems)
+	}
+	if !unmatchedWant {
+		t.Errorf("harness missed the never-firing want; problems: %v", problems)
+	}
+	// The two deliberate mismatches must be the only problems: the
+	// matched want in F proves positive matching works.
+	if len(problems) != 2 {
+		t.Errorf("got %d problems, want 2: %v", len(problems), problems)
+	}
+}
+
+func TestHarnessLoadError(t *testing.T) {
+	problems := runImpl([]*lintcore.Analyzer{funcLitAnalyzer}, "./testdata/src/enoent")
+	if len(problems) == 0 {
+		t.Fatal("expected a load problem for a nonexistent fixture dir")
+	}
+}
+
+func TestSplitWant(t *testing.T) {
+	got, err := splitWant("`a b` \"c\"")
+	if err != nil || len(got) != 2 || got[0] != "a b" || got[1] != "c" {
+		t.Errorf("splitWant = %v, %v", got, err)
+	}
+	if _, err := splitWant("`unterminated"); err == nil {
+		t.Error("unterminated backquote not rejected")
+	}
+	if _, err := splitWant("bare"); err == nil {
+		t.Error("unquoted pattern not rejected")
+	}
+}

@@ -1,0 +1,18 @@
+// Package fixture exercises the linttest harness itself with a trivial
+// analyzer that flags every function literal.
+package fixture
+
+// F contains one func literal and one plain call.
+func F() int {
+	g := func() int { return 1 } // want `func literal`
+	return g() + plain()
+}
+
+func plain() int { return 2 }
+
+// Unmatched carries a want that never fires plus a diagnostic with no
+// want; the harness meta-test asserts both problems are reported.
+func Unmatched() {
+	_ = func() {} // no want here: must surface as unexpected
+	// want "never-fires"
+}

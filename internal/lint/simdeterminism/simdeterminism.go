@@ -1,0 +1,124 @@
+// Package simdeterminism checks that the simulator stays bit-exactly
+// replayable: the deterministic core must not read wall clocks, must not
+// use the globally seeded math/rand source, and must not let map
+// iteration order leak into results.
+//
+// Rules (non-test files only):
+//
+//   - Repo-wide, calls to time.Now, time.Since, or time.Until are
+//     forbidden unless the call line carries an //itp:wallclock
+//     directive. The only sanctioned sites are the run-manifest Time
+//     stamps and bench elapsed reporting in cmd/ — the gate test in
+//     internal/lint pins that set exactly.
+//   - Repo-wide, package-level math/rand functions (rand.Intn, ...) are
+//     forbidden: they draw from the global source, whose seeding is
+//     outside the experiment manifest. Constructors (rand.New,
+//     rand.NewSource, ...) and methods on explicitly seeded *rand.Rand
+//     values are fine outside the core.
+//   - In core packages, importing time, math/rand, or math/rand/v2 at
+//     all is forbidden — the core takes its clock from simulated cycles
+//     and its randomness from seeded xorshift state.
+//   - In core packages, `range` over a map is forbidden unless the range
+//     statement carries an //itp:deterministic directive recording why
+//     iteration order cannot affect results (or the keys are sorted
+//     first).
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"itpsim/internal/lint/lintcore"
+)
+
+// corePackages are the deterministic-core packages under itpsim/internal.
+var corePackages = []string{
+	"sim", "core", "replacement", "tlb", "cache", "ptw", "vm", "dram", "metrics",
+}
+
+// CoreScope decides whether a package is part of the deterministic core.
+// It is a variable so analyzer tests can point it at fixture packages.
+var CoreScope = func(path string) bool {
+	for _, p := range corePackages {
+		if path == "itpsim/internal/"+p {
+			return true
+		}
+	}
+	return false
+}
+
+// clockFuncs are the wall-clock reads the wallclock rule covers.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// Analyzer is the simdeterminism check.
+var Analyzer = &lintcore.Analyzer{
+	Name: "simdeterminism",
+	Doc:  "forbid wall-clock reads, global math/rand, and map-iteration nondeterminism in the simulator core",
+	Run:  run,
+}
+
+func run(pass *lintcore.Pass) error {
+	pkg := pass.Pkg
+	core := CoreScope(pkg.ImportPath)
+	dirs := pkg.Directives()
+
+	for _, file := range pkg.Files {
+		if pkg.IsTestFile(file.Pos()) {
+			continue
+		}
+		if core {
+			for _, imp := range file.Imports {
+				switch strings.Trim(imp.Path.Value, `"`) {
+				case "time":
+					pass.Reportf(imp.Pos(), "core package imports time: the deterministic core must take its clock from simulated cycles")
+				case "math/rand", "math/rand/v2":
+					pass.Reportf(imp.Pos(), "core package imports math/rand: use seeded xorshift state so runs replay bit-exactly")
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, dirs, n)
+			case *ast.RangeStmt:
+				if core && lintcore.TypeIsMap(pkg.Info.TypeOf(n.X)) &&
+					!dirs.Covers(n.Pos(), lintcore.DirDeterministic) {
+					pass.Reportf(n.Pos(), "map iteration in the deterministic core: sort the keys first, or annotate //itp:deterministic with why order cannot affect results")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *lintcore.Pass, dirs *lintcore.Directives, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Package-level functions only: methods (e.g. time.Time.Sub,
+	// rand.Rand.Intn on a seeded source) are not clock reads or global
+	// draws.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if clockFuncs[fn.Name()] && !dirs.Covers(call.Pos(), lintcore.DirWallclock) {
+			pass.Reportf(call.Pos(), "wall-clock read time.%s outside an //itp:wallclock site: the simulator must stay replayable", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (rand.New, rand.NewSource, rand.NewZipf, ...)
+		// build explicitly seeded generators and are fine; everything
+		// else draws from the unseeded global source.
+		if !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(call.Pos(), "global math/rand source (rand.%s): randomness must come from a seed recorded in the run manifest", fn.Name())
+		}
+	}
+}

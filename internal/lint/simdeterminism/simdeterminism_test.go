@@ -1,0 +1,33 @@
+package simdeterminism
+
+import (
+	"strings"
+	"testing"
+
+	"itpsim/internal/lint/lintcore"
+	"itpsim/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	old := CoreScope
+	CoreScope = func(path string) bool { return strings.HasSuffix(path, "/corefix") }
+	defer func() { CoreScope = old }()
+
+	linttest.Run(t, []*lintcore.Analyzer{Analyzer},
+		"./testdata/src/corefix", "./testdata/src/noncore")
+}
+
+func TestCoreScopeDefault(t *testing.T) {
+	for _, path := range []string{
+		"itpsim/internal/sim", "itpsim/internal/metrics", "itpsim/internal/replacement",
+	} {
+		if !CoreScope(path) {
+			t.Errorf("CoreScope(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{"itpsim/internal/workload", "itpsim/cmd/itpsim", "itpsim/internal/lint"} {
+		if CoreScope(path) {
+			t.Errorf("CoreScope(%q) = true, want false", path)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package corefix is a simdeterminism fixture standing in for a
+// deterministic-core package (the analyzer test overrides CoreScope to
+// include it).
+package corefix
+
+import (
+	"math/rand" // want `core package imports math/rand`
+	"sort"
+	"time" // want `core package imports time`
+)
+
+// Tick exercises every core rule.
+func Tick(m map[int]int) int {
+	t := time.Now()    // want `wall-clock read time.Now`
+	n := rand.Intn(4)  // want `global math/rand source \(rand.Intn\)`
+	for k := range m { // want `map iteration in the deterministic core`
+		n += k
+	}
+	//itp:deterministic summation commutes; iteration order cannot matter
+	for k, v := range m {
+		n += k + v
+	}
+	keys := make([]int, 0, len(m))
+	for k := range m { //itp:deterministic keys are sorted before use below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys { // slice range: always fine
+		n += m[k]
+	}
+	_ = t
+	return n
+}

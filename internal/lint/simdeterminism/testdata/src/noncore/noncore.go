@@ -1,0 +1,27 @@
+// Package noncore is a simdeterminism fixture for the repo-wide rules:
+// outside the core, imports and map iteration are free, but wall-clock
+// reads still need //itp:wallclock and the global math/rand source is
+// still off limits.
+package noncore
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp mixes sanctioned and unsanctioned time/randomness use.
+func Stamp(m map[string]int) (string, int) {
+	bad := time.Now() // want `wall-clock read time.Now`
+	//itp:wallclock run-manifest timestamp, recorded but never fed back into simulation
+	ok := time.Now().UTC().Format(time.RFC3339)
+
+	rng := rand.New(rand.NewSource(42)) // seeded constructor: allowed
+	n := rng.Intn(8)                    // method on seeded source: allowed
+	n += rand.Intn(8)                   // want `global math/rand source \(rand.Intn\)`
+
+	for _, v := range m { // map range outside the core: allowed
+		n += v
+	}
+	_ = bad
+	return ok, n
+}

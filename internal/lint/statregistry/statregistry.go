@@ -1,0 +1,355 @@
+// Package statregistry proves, at compile time, that every paper-figure
+// counter the repo's tables and plots consume is actually wired up. The
+// catalog is the package-level `var RequiredStats = []string{...}` in
+// itpsim/internal/metrics; the wiring root is the single function
+// annotated //itp:statwiring (sim.InstrumentMetrics). The analyzer
+// computes the set of stat names the root registers — transitively,
+// through prefix-parameterized Instrument methods — and reports any
+// required name that cannot be produced.
+//
+// Name tracking is syntactic but compositional:
+//
+//   - reg.Counter("l2c.evict.pte") registers the literal name;
+//   - inside an Instrument(reg, prefix) method, reg.Counter(prefix +
+//     ".fills") contributes the suffix ".fills", exported as a fact
+//     keyed "suffixes:<FullName>";
+//   - tlb.Split.Instrument calls t.Instrument(reg, prefix+".i"),
+//     composing the inner suffixes under ".i";
+//   - at the root, x.Instrument(reg, "stlb") grounds the suffix chain
+//     with a literal prefix, yielding full names.
+//
+// Registration sites inside conditionals still count — a conditionally
+// wired stat (xptp.transitions) is wired; what the analyzer rejects is
+// a required stat with no registration site at all. Names built through
+// variables or loops are invisible to this analysis; route them through
+// constants or suppress with //itp:statwiring conventions documented in
+// DESIGN.md §10. Test files are exempt.
+package statregistry
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+
+	"itpsim/internal/lint/lintcore"
+)
+
+// CatalogVar is the name of the package-level []string variable holding
+// the required-stat catalog.
+const CatalogVar = "RequiredStats"
+
+// registerMethods are the metrics.Registry entry points whose first
+// string argument is a stat name.
+var registerMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// Analyzer is the statregistry check.
+var Analyzer = &lintcore.Analyzer{
+	Name: "statregistry",
+	Doc:  "prove every required paper-figure counter is registered by the //itp:statwiring root",
+	Run:  run,
+}
+
+// nameval is one tracked string: a grounded literal name or a suffix
+// relative to the enclosing function's prefix parameter.
+type nameval struct {
+	text string
+	rel  bool // true: text is a suffix after the prefix param
+}
+
+func run(pass *lintcore.Pass) error {
+	pkg := pass.Pkg
+	dirs := pkg.Directives()
+
+	// Export this package's catalog, if it declares one.
+	if req := catalog(pkg); req != nil {
+		data, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		pass.ExportFact("required", string(data))
+	}
+
+	// Collect every function declaration, then resolve each function's
+	// registration contributions (memoized: same-package Instrument
+	// helpers may call each other).
+	r := &resolver{pass: pass, decls: map[string]*ast.FuncDecl{}, memo: map[string][]nameval{}}
+	var roots []*ast.FuncDecl
+	for _, file := range pkg.Files {
+		if pkg.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			r.decls[lintcore.FuncFullName(fn)] = fd
+			if lintcore.FuncAnnotated(dirs, fd, lintcore.DirStatWiring) {
+				roots = append(roots, fd)
+			}
+		}
+	}
+
+	// Export suffix facts for every function contributing prefix-relative
+	// registrations, so importing packages can compose them.
+	for name := range r.decls {
+		vals := r.resolve(name)
+		var suffixes []string
+		for _, v := range vals {
+			if v.rel {
+				suffixes = append(suffixes, v.text)
+			}
+		}
+		if len(suffixes) > 0 {
+			sort.Strings(suffixes)
+			data, err := json.Marshal(suffixes)
+			if err != nil {
+				return err
+			}
+			pass.ExportFact("suffixes:"+name, string(data))
+		}
+	}
+
+	// Check each wiring root against the union of visible catalogs.
+	for _, root := range roots {
+		checkRoot(pass, r, root)
+	}
+	return nil
+}
+
+// catalog extracts the RequiredStats string literals declared in pkg.
+func catalog(pkg *lintcore.Package) []string {
+	var req []string
+	for _, file := range pkg.Files {
+		if pkg.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != CatalogVar || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range cl.Elts {
+						if s, ok := stringConst(pkg.Info, elt); ok {
+							req = append(req, s)
+						}
+					}
+				}
+			}
+		}
+	}
+	return req
+}
+
+func checkRoot(pass *lintcore.Pass, r *resolver, root *ast.FuncDecl) {
+	fn := pass.Pkg.Info.Defs[root.Name].(*types.Func)
+	registered := map[string]bool{}
+	for _, v := range r.resolve(lintcore.FuncFullName(fn)) {
+		if !v.rel {
+			registered[v.text] = true
+		}
+	}
+
+	var required []string
+	seen := map[string]bool{}
+	addReq := func(data string) {
+		var names []string
+		if json.Unmarshal([]byte(data), &names) != nil {
+			return
+		}
+		for _, n := range names {
+			if !seen[n] {
+				seen[n] = true
+				required = append(required, n)
+			}
+		}
+	}
+	for _, pkgPath := range pass.FactPackages() {
+		if v, ok := pass.Fact(pkgPath, "required"); ok {
+			addReq(v)
+		}
+	}
+	sort.Strings(required)
+
+	if len(required) == 0 {
+		pass.Reportf(root.Name.Pos(), "//itp:statwiring function %s sees no %s catalog: the wiring root must import the package declaring it", root.Name.Name, CatalogVar)
+		return
+	}
+	for _, name := range required {
+		if !registered[name] {
+			pass.Reportf(root.Name.Pos(), "required stat %q is never registered by //itp:statwiring function %s", name, root.Name.Name)
+		}
+	}
+}
+
+// resolver computes, per function, the tracked stat names it registers.
+type resolver struct {
+	pass  *lintcore.Pass
+	decls map[string]*ast.FuncDecl
+	memo  map[string][]nameval
+	stack map[string]bool
+}
+
+func (r *resolver) resolve(fullName string) []nameval {
+	if vals, ok := r.memo[fullName]; ok {
+		return vals
+	}
+	if r.stack == nil {
+		r.stack = map[string]bool{}
+	}
+	if r.stack[fullName] {
+		return nil // registration recursion: treat the cycle as empty
+	}
+	decl, ok := r.decls[fullName]
+	if !ok {
+		return nil
+	}
+	r.stack[fullName] = true
+	vals := r.collect(decl)
+	delete(r.stack, fullName)
+	r.memo[fullName] = vals
+	return vals
+}
+
+// collect walks one function body for registration calls and nested
+// Instrument composition.
+func (r *resolver) collect(decl *ast.FuncDecl) []nameval {
+	info := r.pass.Pkg.Info
+	params := paramSet(info, decl)
+	var out []nameval
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		switch {
+		case registerMethods[sel.Sel.Name]:
+			if v, ok := evalString(info, params, call.Args[0]); ok {
+				out = append(out, v)
+			}
+		case sel.Sel.Name == "Instrument" && len(call.Args) >= 2:
+			prefix, ok := evalString(info, params, call.Args[1])
+			if !ok {
+				return true
+			}
+			for _, suffix := range r.calleeSuffixes(sel) {
+				out = append(out, nameval{text: prefix.text + suffix, rel: prefix.rel})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// calleeSuffixes returns the suffix list of the Instrument method the
+// selector resolves to, from same-package declarations or imported
+// facts.
+func (r *resolver) calleeSuffixes(sel *ast.SelectorExpr) []string {
+	info := r.pass.Pkg.Info
+	var fn *types.Func
+	if s, ok := info.Selections[sel]; ok {
+		fn, _ = s.Obj().(*types.Func)
+	} else {
+		fn, _ = info.Uses[sel.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return nil
+	}
+	full := lintcore.FuncFullName(fn)
+	if _, local := r.decls[full]; local {
+		var suffixes []string
+		for _, v := range r.resolve(full) {
+			if v.rel {
+				suffixes = append(suffixes, v.text)
+			}
+		}
+		return suffixes
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	if data, ok := r.pass.Fact(pkg.Path(), "suffixes:"+full); ok {
+		var suffixes []string
+		if json.Unmarshal([]byte(data), &suffixes) == nil {
+			return suffixes
+		}
+	}
+	return nil
+}
+
+// evalString classifies a string expression as a grounded literal, a
+// prefix-parameter-relative suffix, or untrackable.
+func evalString(info *types.Info, params map[types.Object]bool, e ast.Expr) (nameval, bool) {
+	e = ast.Unparen(e)
+	if s, ok := stringConst(info, e); ok {
+		return nameval{text: s}, true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil && params[obj] {
+			return nameval{rel: true}, true
+		}
+	case *ast.BinaryExpr:
+		if e.Op.String() != "+" {
+			break
+		}
+		x, okx := evalString(info, params, e.X)
+		y, oky := evalString(info, params, e.Y)
+		if okx && oky && !y.rel {
+			return nameval{text: x.text + y.text, rel: x.rel}, true
+		}
+	}
+	return nameval{}, false
+}
+
+func stringConst(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// paramSet indexes decl's string-typed parameters.
+func paramSet(info *types.Info, decl *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if decl.Type.Params == nil {
+		return out
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Package statdep is a statregistry fixture dependency: a mini metrics
+// registry plus prefix-parameterized Instrument methods whose suffix
+// sets must flow to importers as facts.
+package statdep
+
+// Registry mimics metrics.Registry.
+type Registry struct{ names []string }
+
+// Counter registers a counter.
+func (r *Registry) Counter(name string) *int { r.names = append(r.names, name); return new(int) }
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name string) *int { r.names = append(r.names, name); return new(int) }
+
+// Histogram registers a histogram.
+func (r *Registry) Histogram(name string) *int { r.names = append(r.names, name); return new(int) }
+
+// TLB is a leaf component.
+type TLB struct{}
+
+// Instrument registers the TLB stats under prefix.
+func (t *TLB) Instrument(reg *Registry, prefix string) {
+	reg.Counter(prefix + ".hit")
+	reg.Counter(prefix + ".miss")
+	reg.Histogram(prefix + ".latency")
+}
+
+// Split composes two TLBs, like tlb.Split.
+type Split struct{ I, D *TLB }
+
+// Instrument registers both halves under derived prefixes.
+func (s *Split) Instrument(reg *Registry, prefix string) {
+	s.I.Instrument(reg, prefix+".i")
+	s.D.Instrument(reg, prefix+".d")
+}

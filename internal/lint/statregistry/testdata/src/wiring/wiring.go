@@ -1,0 +1,27 @@
+// Package wiring is the statregistry root fixture: it declares the
+// required-stat catalog and a //itp:statwiring function that registers
+// all but one of them.
+package wiring
+
+import "itpsim/internal/lint/statregistry/testdata/src/statdep"
+
+// RequiredStats is the fixture catalog (same contract as
+// metrics.RequiredStats).
+var RequiredStats = []string{
+	"stlb.i.hit",
+	"stlb.d.latency",
+	"top.total",
+	"top.cond",
+	"missing.stat",
+}
+
+// Wire registers everything except "missing.stat".
+//
+//itp:statwiring
+func Wire(reg *statdep.Registry, s *statdep.Split, xptp bool) { // want `required stat "missing.stat" is never registered`
+	reg.Counter("top.total")
+	if xptp { // conditionally wired still counts as wired
+		reg.Gauge("top.cond")
+	}
+	s.Instrument(reg, "stlb")
+}

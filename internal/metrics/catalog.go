@@ -1,0 +1,28 @@
+package metrics
+
+// RequiredStats names every counter the paper's headline figures are
+// derived from. The statregistry analyzer (cmd/itpvet) proves statically
+// that the //itp:statwiring root — sim.(*Machine).InstrumentMetrics —
+// registers each of these names, so a figure can never silently read a
+// counter that was dropped in a refactor. Names follow the registry's
+// dotted convention: <component>.<event>[.<class>].
+var RequiredStats = []string{
+	// Demand STLB misses by translation class: the inputs to the
+	// adaptive xPTP controller and the per-window MPKI series (Figure 7).
+	"stlb.demand_miss.instr",
+	"stlb.demand_miss.data",
+
+	// L2C PTE evictions, total and data-class: the eviction pressure
+	// xPTP is designed to relieve (Section 4.3).
+	"l2c.evict.pte",
+	"l2c.evict.data_pte",
+
+	// Completed page walks by class: the denominator of the walk-latency
+	// figures and the itMPKI/dtMPKI accounting (Figure 4).
+	"ptw.walk.instr",
+	"ptw.walk.data",
+
+	// Adaptive controller enable/disable flips (Section 4.3.1); only
+	// registered when a run has an adaptive controller attached.
+	"xptp.transitions",
+}

@@ -38,6 +38,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//itp:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -45,6 +47,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//itp:hotpath
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -52,6 +56,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Value returns the current count (0 for a nil counter).
+//
+//itp:hotpath
 func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
@@ -65,6 +71,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//itp:hotpath
 func (g *Gauge) Set(v uint64) {
 	if g != nil {
 		g.v.Store(v)
@@ -89,6 +97,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//itp:hotpath
 func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return
@@ -227,12 +237,15 @@ func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.histograms))
+	//itp:deterministic — accumulates into a map keyed by name; order cannot leak
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
+	//itp:deterministic — accumulates into a map keyed by name; order cannot leak
 	for name, g := range r.gauges {
 		out[name] = g.Value()
 	}
+	//itp:deterministic — accumulates into a map keyed by name; order cannot leak
 	for name, h := range r.histograms {
 		out[name] = map[string]any{"count": h.Count(), "sum": h.Sum(), "mean": h.Mean()}
 	}
@@ -248,12 +261,15 @@ func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	//itp:deterministic — collected names are sorted below
 	for n := range r.counters {
 		names = append(names, n)
 	}
+	//itp:deterministic — collected names are sorted below
 	for n := range r.gauges {
 		names = append(names, n)
 	}
+	//itp:deterministic — collected names are sorted below
 	for n := range r.histograms {
 		names = append(names, n)
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"itpsim/internal/arch"
 )
 
 // WindowRecord is one closed instruction window of the time series. The
@@ -13,12 +15,14 @@ import (
 type WindowRecord struct {
 	// Window is the zero-based window index.
 	Window uint64 `json:"window"`
-	// Retired is the cumulative retired-instruction count at close.
-	Retired uint64 `json:"retired"`
+	// Retired is the cumulative retired-instruction count at close. The
+	// arch.Instr/arch.Cycle unit types marshal as plain JSON numbers, so
+	// the export format is unchanged.
+	Retired arch.Instr `json:"retired"`
 	// Instr is the number of instructions retired inside this window.
-	Instr uint64 `json:"instr"`
+	Instr arch.Instr `json:"instr"`
 	// Cycles is the number of cycles elapsed inside this window.
-	Cycles uint64 `json:"cycles"`
+	Cycles arch.Cycle `json:"cycles"`
 	// IPC is Instr/Cycles for this window alone.
 	IPC float64 `json:"ipc"`
 	// Counters holds the per-window delta of every tracked counter.
@@ -63,7 +67,7 @@ type trackedCounter struct {
 // boundary check stays on the caller's side (a single compare against
 // NextBoundary).
 type Windows struct {
-	size uint64
+	size arch.Instr
 
 	mu      sync.Mutex
 	tracked []trackedCounter
@@ -73,20 +77,20 @@ type Windows struct {
 	// oldest slot in place — recycling its Counters map — instead of
 	// allocating a record plus map per window and memmoving the history.
 	records []WindowRecord
-	start   int // ring read position (always 0 in unbounded mode)
-	count   int // live records
+	start   int    // ring read position (always 0 in unbounded mode)
+	count   int    // live records
 	dropped uint64 // records discarded by the retention cap
 	retain  int    // max records kept; <= 0 means unbounded
 	sink    func(*WindowRecord)
 
 	index       uint64
-	lastRetired uint64
-	lastCycles  uint64
+	lastRetired arch.Instr
+	lastCycles  arch.Cycle
 }
 
 // NewWindows returns a sampler with the given window size in retired
 // instructions (0 selects DefaultWindow).
-func NewWindows(size uint64) *Windows {
+func NewWindows(size arch.Instr) *Windows {
 	if size == 0 {
 		size = DefaultWindow
 	}
@@ -94,7 +98,7 @@ func NewWindows(size uint64) *Windows {
 }
 
 // Size returns the window size in retired instructions.
-func (w *Windows) Size() uint64 { return w.size }
+func (w *Windows) Size() arch.Instr { return w.size }
 
 // Track adds a counter to the per-window delta set. Call before the run
 // starts.
@@ -194,7 +198,7 @@ func (w *Windows) slotLocked() *WindowRecord {
 // record before it is stored and streamed. The sink, when set, must not
 // retain the record past the call: with a retention cap its Counters map
 // is recycled into a future window once the record ages out of the ring.
-func (w *Windows) Close(retired, cycles uint64, annotate func(*WindowRecord)) {
+func (w *Windows) Close(retired arch.Instr, cycles arch.Cycle, annotate func(*WindowRecord)) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	rec := w.slotLocked()
@@ -252,6 +256,7 @@ func cloneCounters(m map[string]uint64) map[string]uint64 {
 		return nil
 	}
 	out := make(map[string]uint64, len(m))
+	//itp:deterministic — whole-map copy; order cannot leak
 	for k, v := range m {
 		out[k] = v
 	}

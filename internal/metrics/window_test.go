@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"encoding/json"
+	"itpsim/internal/arch"
 	"strings"
 	"sync"
 	"testing"
@@ -77,7 +78,7 @@ func TestWindowsRetentionAndSink(t *testing.T) {
 	w.SetSink(func(rec *WindowRecord) { streamed = append(streamed, rec.Window) })
 	w.SetRetain(3)
 	for i := uint64(1); i <= 8; i++ {
-		w.Close(i*10, i*10, nil)
+		w.Close(arch.Instr(i*10), arch.Cycle(i*10), nil)
 	}
 	if len(streamed) != 8 {
 		t.Fatalf("sink saw %d windows, want all 8", len(streamed))
@@ -101,7 +102,7 @@ func TestWindowsRecent(t *testing.T) {
 		t.Fatalf("empty RecentString = %q", got)
 	}
 	for i := uint64(1); i <= 4; i++ {
-		w.Close(i*10, i*20, nil)
+		w.Close(arch.Instr(i*10), arch.Cycle(i*20), nil)
 	}
 	recent := w.Recent(2)
 	if len(recent) != 2 || recent[0].Window != 2 || recent[1].Window != 3 {
@@ -144,7 +145,7 @@ func TestWindowsConcurrentReaders(t *testing.T) {
 	}()
 	for i := uint64(1); i <= 500; i++ {
 		c.Add(2)
-		w.Close(i*10, i*12, nil)
+		w.Close(arch.Instr(i*10), arch.Cycle(i*12), nil)
 	}
 	close(stop)
 	wg.Wait()

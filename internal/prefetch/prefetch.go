@@ -15,6 +15,7 @@ type Prefetcher interface {
 	// list of block addresses to prefetch. The returned slice is only
 	// valid until the next Train call — implementations reuse it to keep
 	// the access path allocation-free.
+	//itp:hotpath
 	Train(acc *arch.Access) []arch.Addr
 }
 
@@ -30,6 +31,8 @@ func NewNextLine() *NextLine { return &NextLine{} }
 func (*NextLine) Name() string { return "next-line" }
 
 // Train implements Prefetcher.
+//
+//itp:hotpath
 func (n *NextLine) Train(acc *arch.Access) []arch.Addr {
 	n.buf[0] = arch.BlockAddr(acc.Addr) + arch.BlockSize
 	return n.buf[:]
@@ -72,6 +75,8 @@ func NewStride(tableSize, degree int) *Stride {
 func (*Stride) Name() string { return "stride" }
 
 // Train implements Prefetcher.
+//
+//itp:hotpath
 func (s *Stride) Train(acc *arch.Access) []arch.Addr {
 	idx := ((acc.PC >> 2) ^ (acc.PC >> 10)) & s.mask
 	e := &s.table[idx]
@@ -100,6 +105,7 @@ func (s *Stride) Train(acc *arch.Access) []arch.Addr {
 			if next <= 0 {
 				break
 			}
+			//itp:nonalloc — buf is pre-sized to degree; append never grows it
 			s.buf = append(s.buf, arch.Addr(next)<<arch.BlockBits)
 		}
 	}

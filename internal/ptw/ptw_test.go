@@ -162,7 +162,7 @@ func TestWalkLatencyAccounting(t *testing.T) {
 	va := arch.Addr(0x1000)
 	tr := pt.Translate(va)
 	done, _ := w.Walk(100, va, &tr, arch.InstrClass, 0, 0)
-	if sim.WalkLatSum[arch.InstrClass] != done-100 {
+	if sim.WalkLatSum[arch.InstrClass] != arch.Cycle(done-100) {
 		t.Errorf("walk latency sum = %d, want %d", sim.WalkLatSum[arch.InstrClass], done-100)
 	}
 }

@@ -111,6 +111,9 @@ func (h *Hawkeye) observe(setIdx int, block uint64, pc uint64) {
 	s.lastAccess[block] = optgenEntry{time: now, sig: h.sig(pc)}
 	// Bound the map.
 	if len(s.lastAccess) > 8*optgenWindow {
+		// Deleting every entry matching a pure age predicate leaves the
+		// same surviving map state in any iteration order.
+		//itp:deterministic — predicate prune; order cannot affect the result
 		for k, v := range s.lastAccess {
 			if now-v.time >= optgenWindow {
 				delete(s.lastAccess, k)

@@ -48,14 +48,20 @@ type Line struct {
 // train on dead blocks.
 type Policy interface {
 	Name() string
+	//itp:hotpath
 	Victim(setIdx int, set []Line, in *arch.Access) int
+	//itp:hotpath
 	OnFill(setIdx int, set []Line, way int, in *arch.Access)
+	//itp:hotpath
 	OnHit(setIdx int, set []Line, way int, in *arch.Access)
+	//itp:hotpath
 	OnEvict(setIdx int, set []Line, way int)
 }
 
 // InitSet establishes the stack-position permutation invariant for a
 // freshly created set: positions are a permutation of 0..len(set)-1.
+//
+//itp:hotpath
 func InitSet(set []Line) {
 	for i := range set {
 		set[i].Stack = uint8(i)
@@ -64,6 +70,8 @@ func InitSet(set []Line) {
 
 // InvalidWay returns the index of an invalid line with the deepest stack
 // position, or -1 if the set is full.
+//
+//itp:hotpath
 func InvalidWay(set []Line) int {
 	best, bestStack := -1, -1
 	for i := range set {
@@ -76,6 +84,8 @@ func InvalidWay(set []Line) int {
 
 // StackLRUVictim returns the way at the bottom of the recency stack,
 // preferring invalid ways.
+//
+//itp:hotpath
 func StackLRUVictim(set []Line) int {
 	if w := InvalidWay(set); w >= 0 {
 		return w
@@ -91,6 +101,8 @@ func StackLRUVictim(set []Line) int {
 
 // MoveToStackPos repositions way to stack position pos, shifting the
 // intervening lines by one; the permutation invariant is preserved.
+//
+//itp:hotpath
 func MoveToStackPos(set []Line, way, pos int) {
 	old := int(set[way].Stack)
 	switch {
@@ -113,6 +125,8 @@ func MoveToStackPos(set []Line, way, pos int) {
 }
 
 // StackPosOf returns the way currently at stack position pos, or -1.
+//
+//itp:hotpath
 func StackPosOf(set []Line, pos int) int {
 	for i := range set {
 		if int(set[i].Stack) == pos {
@@ -180,6 +194,7 @@ func newXorshift(seed uint64) xorshift64 {
 	return xorshift64(seed)
 }
 
+//itp:hotpath
 func (x *xorshift64) next() uint64 {
 	v := uint64(*x)
 	v ^= v << 13

@@ -14,15 +14,21 @@ import (
 // steady-state instruction per op. Warm steps populate caches, TLBs, page
 // tables, and the allocator-visible buffers (lookahead ring, metrics
 // window ring), leaving the measured loop with the structures the run
-// loop actually touches per instruction.
-func newSteadyMachine(b *testing.B, instrument bool) (*Machine, *threadCtx) {
+// loop actually touches per instruction. mutate (optional) edits the
+// default configuration before the machine is built, so each benchmark
+// variant exercises its own policy mix.
+func newSteadyMachine(b *testing.B, instrument bool, mutate func(*config.SystemConfig)) (*Machine, *threadCtx) {
 	b.Helper()
 	cat := workload.NewCatalog(4, 2)
 	spec, err := cat.Get("srv_000")
 	if err != nil {
 		b.Fatal(err)
 	}
-	m, err := NewMachine(config.Default())
+	cfg := config.Default()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := NewMachine(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -38,12 +44,64 @@ func newSteadyMachine(b *testing.B, instrument bool) (*Machine, *threadCtx) {
 	return m, t
 }
 
+// Hot-path gate manifest: which //itp:hotpath functions each
+// BenchmarkSteadyState* alloc gate exercises empirically. itpvet's static
+// hotpathalloc analyzer proves the absence of allocation constructs;
+// these benchmarks prove 0 allocs/op on real instruction streams; and
+// internal/lint's TestHotpathGateCoverage proves every annotation in the
+// tree is claimed by at least one gate below. Keep the three in sync.
+var (
+	// hotpathCommon covers the machinery every configuration steps
+	// through: the pipeline, the TLB/cache/DRAM hierarchy, the page
+	// walker, virtual memory, the LRU substrate, and the workload
+	// generators.
+	hotpathCommon = []string{
+		"itpsim/internal/arch",
+		"itpsim/internal/sim",
+		"itpsim/internal/tlb",
+		"itpsim/internal/cache",
+		"itpsim/internal/replacement",
+		"itpsim/internal/ptw",
+		"itpsim/internal/vm",
+		"itpsim/internal/dram",
+		"itpsim/internal/stats",
+		"itpsim/internal/prefetch",
+		"itpsim/internal/workload",
+	}
+	// hotpathMetrics adds the observability layer the instrumented twin
+	// drives: counters, the windowed sampler, and the controller hooks.
+	hotpathMetrics = []string{
+		"itpsim/internal/metrics",
+	}
+	// hotpathITPXPTP adds the paper's proposal policies: iTP on the STLB
+	// and adaptive xPTP (controller included) on the L2C.
+	hotpathITPXPTP = []string{
+		"itpsim/internal/core",
+	}
+	// hotpathCHiRP adds the CHiRP baseline plus the real
+	// hashed-perceptron predictor that drives its control-flow history.
+	hotpathCHiRP = []string{
+		"itpsim/internal/branch",
+	}
+
+	// hotpathGateManifest maps each alloc-gated benchmark to the
+	// packages whose //itp:hotpath functions it exercises.
+	// internal/lint's gate-coverage test parses this table syntactically,
+	// so keep entries as identifier references to the slices above.
+	hotpathGateManifest = map[string][]string{
+		"BenchmarkSteadyStateStep":        hotpathCommon,
+		"BenchmarkSteadyStateStepMetrics": hotpathMetrics,
+		"BenchmarkSteadyStateStepITPXPTP": hotpathITPXPTP,
+		"BenchmarkSteadyStateStepCHiRP":   hotpathCHiRP,
+	}
+)
+
 // BenchmarkSteadyStateStep is the allocation gate for the simulation hot
 // loop: one instruction end to end (lookahead pop, front end, TLBs, page
 // walks, caches, retire) with zero heap allocations per op. benchguard's
 // -alloc-gate fails the build if allocs/op ever leaves 0.
 func BenchmarkSteadyStateStep(b *testing.B) {
-	m, t := newSteadyMachine(b, false)
+	m, t := newSteadyMachine(b, false, nil)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -56,7 +114,38 @@ func BenchmarkSteadyStateStep(b *testing.B) {
 // It must also run allocation-free — window records and their counter
 // maps recycle in place.
 func BenchmarkSteadyStateStepMetrics(b *testing.B) {
-	m, t := newSteadyMachine(b, true)
+	m, t := newSteadyMachine(b, true, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.step(t)
+	}
+}
+
+// BenchmarkSteadyStateStepITPXPTP gates the paper's proposal
+// configuration: iTP on the STLB and adaptive xPTP (with its controller
+// judging every window) on the L2C, instrumented so the xptp.transitions
+// path is live too.
+func BenchmarkSteadyStateStepITPXPTP(b *testing.B) {
+	m, t := newSteadyMachine(b, true, func(cfg *config.SystemConfig) {
+		cfg.STLBPolicy = "itp"
+		cfg.L2CPolicy = "xptp"
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.step(t)
+	}
+}
+
+// BenchmarkSteadyStateStepCHiRP gates the CHiRP STLB baseline together
+// with the real hashed-perceptron branch predictor, the configuration
+// that drives the control-flow-history and perceptron hot paths.
+func BenchmarkSteadyStateStepCHiRP(b *testing.B) {
+	m, t := newSteadyMachine(b, false, func(cfg *config.SystemConfig) {
+		cfg.STLBPolicy = "chirp"
+		cfg.BranchPredictor = "perceptron"
+	})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

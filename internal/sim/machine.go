@@ -83,8 +83,10 @@ type Machine struct {
 	met                               *machineMetrics
 	metSTLBMissInstr, metSTLBMissData *metrics.Counter
 	// maxRetireCycle is the latest retire cycle seen across threads —
-	// the cycle clock the windowed sampler stamps windows with.
-	maxRetireCycle uint64
+	// the cycle clock the windowed sampler stamps windows with. Typed
+	// arch.Cycle at this boundary so it cannot be confused with the
+	// retired-instruction counters it travels next to.
+	maxRetireCycle arch.Cycle
 
 	// acc is the scratch access record the ifetch/dataAccess/fdipPrefetch
 	// paths reuse. Access records flow down the hierarchy by pointer and
@@ -115,6 +117,7 @@ type statsDRAM struct {
 	sim *stats.Sim
 }
 
+//itp:hotpath
 func (s *statsDRAM) Access(now uint64, acc *arch.Access) uint64 {
 	s.sim.DRAMAccesses++
 	return s.d.Access(now, acc)
@@ -235,6 +238,8 @@ func (m *Machine) Controller() *core.Controller { return m.ctrl }
 // predictBranch returns true when the branch predictor is correct,
 // approximating the hashed-perceptron predictor with its measured
 // accuracy.
+//
+//itp:hotpath
 func (m *Machine) predictBranch() bool {
 	m.bpRNG ^= m.bpRNG << 13
 	m.bpRNG ^= m.bpRNG >> 7
@@ -246,6 +251,8 @@ func (m *Machine) predictBranch() bool {
 // physical address, the cycle at which the translation is available, and
 // whether the STLB missed (the T-DRRIP demand bit). First-level TLB hits
 // are free (VIPT lookup overlaps the cache index).
+//
+//itp:hotpath
 func (m *Machine) translate(now uint64, va arch.Addr, class arch.Class, pc arch.Addr, thread uint8) (arch.Addr, uint64, bool) {
 	first := m.dtlb
 	firstStats := &m.Stats.DTLB
@@ -333,6 +340,7 @@ func (m *Machine) translate(now uint64, va arch.Addr, class arch.Class, pc arch.
 	return tr.PhysAddr(va), done, true
 }
 
+//itp:hotpath
 func physFrom(ppn uint64, bits uint8, va arch.Addr) arch.Addr {
 	mask := (arch.Addr(1) << bits) - 1
 	return arch.Addr(ppn)<<bits | (va & mask)
@@ -343,21 +351,25 @@ var debugIfetchPenalty uint64 = 1
 
 // ifetch performs the translation + L1I access for one instruction block
 // and charges instruction-translation stall cycles (the Figure 1 metric).
+//
+//itp:hotpath
 func (m *Machine) ifetch(now uint64, pc arch.Addr, thread uint8) uint64 {
 	pa, tdone, stlbMiss := m.translate(now, pc, arch.InstrClass, pc, thread)
 	if debugIfetchPenalty > 1 {
 		tdone = now + (tdone-now)*debugIfetchPenalty
 	}
-	m.Stats.InstrTransCycles += tdone - now
+	m.Stats.InstrTransCycles += arch.Cycle(tdone - now)
 	acc := &m.acc
 	*acc = arch.Access{Addr: pa, PC: pc, Kind: arch.IFetch, STLBMiss: stlbMiss, Thread: thread}
 	return m.l1i.Access(tdone, acc)
 }
 
 // dataAccess performs translation + L1D access for a load or store.
+//
+//itp:hotpath
 func (m *Machine) dataAccess(now uint64, va, pc arch.Addr, isStore bool, thread uint8) uint64 {
 	pa, tdone, stlbMiss := m.translate(now, va, arch.DataClass, pc, thread)
-	m.Stats.DataTransCycles += tdone - now
+	m.Stats.DataTransCycles += arch.Cycle(tdone - now)
 	kind := arch.Load
 	if isStore {
 		kind = arch.Store
@@ -371,6 +383,8 @@ func (m *Machine) dataAccess(now uint64, va, pc arch.Addr, isStore bool, thread 
 // is present, prefetches the block into the L1I — the decoupled
 // front-end runs ahead of fetch but cannot run past an unknown
 // translation, which is exactly why instruction STLB misses hurt.
+//
+//itp:hotpath
 func (m *Machine) fdipPrefetch(now uint64, pc arch.Addr, thread uint8) bool {
 	ppn, bits, _, ok := m.itlb.Peek(pc, thread)
 	if !ok {
@@ -481,7 +495,7 @@ func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) (
 		m.Stats.InstrTransCycles = 0
 		m.Stats.DataTransCycles = 0
 		m.Stats.PageWalks = [2]uint64{}
-		m.Stats.WalkLatSum = [2]uint64{}
+		m.Stats.WalkLatSum = [2]arch.Cycle{}
 		m.Stats.PSCHits = [4]uint64{}
 		m.Stats.DRAMAccesses = 0
 		for _, th := range threads {
@@ -501,7 +515,7 @@ func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) (
 			last = th.lastRetire
 		}
 	}
-	m.Stats.Cycles = last - baseline
+	m.Stats.Cycles = arch.Cycle(last - baseline)
 	if m.ctrl != nil {
 		m.Stats.XPTPEnabledWindows = m.ctrl.EnabledWindows
 		m.Stats.XPTPDisabledWindows = m.ctrl.DisabledWindows

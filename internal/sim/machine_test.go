@@ -90,7 +90,7 @@ func TestRunIsDeterministic(t *testing.T) {
 	for i := range cycles {
 		m, _ := NewMachine(testConfig())
 		res, _ := m.Run([]workload.Stream{spec.NewStream()}, 50000)
-		cycles[i] = res.Stats.Cycles
+		cycles[i] = uint64(res.Stats.Cycles)
 	}
 	if cycles[0] != cycles[1] {
 		t.Errorf("two identical runs diverged: %d vs %d cycles", cycles[0], cycles[1])
@@ -453,7 +453,7 @@ func TestSMTRunIsDeterministic(t *testing.T) {
 	for i := range cycles {
 		m, _ := NewMachine(testConfig())
 		res, _ := m.Run([]workload.Stream{a.NewStream(), b.NewStream()}, 30000)
-		cycles[i] = res.Stats.Cycles
+		cycles[i] = uint64(res.Stats.Cycles)
 	}
 	if cycles[0] != cycles[1] {
 		t.Errorf("SMT runs diverged: %d vs %d", cycles[0], cycles[1])

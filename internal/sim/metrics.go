@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"itpsim/internal/arch"
 	"itpsim/internal/metrics"
 	"itpsim/internal/stats"
 	"itpsim/internal/tlb"
@@ -16,7 +17,7 @@ type machineMetrics struct {
 	windows *metrics.Windows
 	// next is the retired-instruction count at which the current window
 	// closes; cached here so the per-retire check is one compare.
-	next uint64
+	next arch.Instr
 
 	// Demand STLB misses by translation class, incremented at exactly
 	// the site that feeds the adaptive controller (Machine.translate),
@@ -52,8 +53,10 @@ type machineMetrics struct {
 //	{l2c,llc}.{fills,evictions,evict.pte,evict.data_pte,writebacks}
 //	ptw.walk.{instr,data}, ptw.walk_latency, ptw.psc_hits
 //	xptp.transitions                adaptive enable/disable flips
+//
+//itp:statwiring — itpvet proves every metrics.RequiredStats counter is registered here
 func (m *Machine) InstrumentMetrics(reg *metrics.Registry, windowInstr uint64) *metrics.Windows {
-	mm := &machineMetrics{reg: reg, windows: metrics.NewWindows(windowInstr)}
+	mm := &machineMetrics{reg: reg, windows: metrics.NewWindows(arch.Instr(windowInstr))}
 
 	mm.stlbMissInstr = reg.Counter("stlb.demand_miss.instr")
 	mm.stlbMissData = reg.Counter("stlb.demand_miss.data")
@@ -119,7 +122,7 @@ func (m *Machine) Metrics() *metrics.Windows {
 // cumulative retired count, annotating the record with the derived
 // headline series and the adaptive controller's status bit. Called from
 // the run loop only.
-func (m *Machine) closeMetricsWindow(retired uint64) {
+func (m *Machine) closeMetricsWindow(retired arch.Instr) {
 	mm := m.met
 	mm.windows.Close(retired, m.maxRetireCycle, mm.annotate)
 	mm.next += mm.windows.Size()
@@ -127,6 +130,8 @@ func (m *Machine) closeMetricsWindow(retired uint64) {
 
 // recordSTLBDemandMiss feeds the windowed series from the translate path;
 // it mirrors stats.Sim's STLB bucket accounting.
+//
+//itp:hotpath
 func (m *Machine) recordSTLBDemandMiss(bucket stats.Bucket) {
 	if bucket == stats.BInstr {
 		m.metSTLBMissInstr.Inc()

@@ -127,7 +127,7 @@ func TestMetricsWindowMisalignedSizes(t *testing.T) {
 	if len(recs) != 40_000/2500 {
 		t.Fatalf("closed %d windows, want %d", len(recs), 40_000/2500)
 	}
-	var prev uint64
+	var prev arch.Instr
 	for _, rec := range recs {
 		if rec.Retired != prev+2500 || rec.Instr != 2500 {
 			t.Fatalf("window %d boundaries broken: %+v", rec.Window, rec)
@@ -166,7 +166,7 @@ func TestMachineCountersMirrorStats(t *testing.T) {
 		t.Fatalf("walk-latency observations=%d, walks=%d", h.Count(), statWalks)
 	}
 	lat := reg.Histogram("ptw.walk_latency").Sum()
-	statLat := m.Stats.WalkLatSum[0] + m.Stats.WalkLatSum[1]
+	statLat := uint64(m.Stats.WalkLatSum[0] + m.Stats.WalkLatSum[1])
 	if lat != statLat {
 		t.Fatalf("registry walk latency=%d, stats=%d", lat, statLat)
 	}
@@ -205,5 +205,29 @@ func TestSnapshotIncludesWindowHistory(t *testing.T) {
 	}
 	if !strings.Contains(snap, "ipc=") {
 		t.Fatalf("Snapshot window history empty:\n%s", snap)
+	}
+}
+
+// TestRequiredStatsRegistered is the runtime counterpart of itpvet's
+// statregistry analyzer: on a machine with the adaptive controller
+// attached, InstrumentMetrics must register every counter named in
+// metrics.RequiredStats.
+func TestRequiredStatsRegistered(t *testing.T) {
+	cfg := config.Default()
+	cfg.L2CPolicy = "xptp" // xptp.transitions needs the adaptive controller
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	m.InstrumentMetrics(reg, 0)
+	have := make(map[string]bool)
+	for _, n := range reg.Names() {
+		have[n] = true
+	}
+	for _, want := range metrics.RequiredStats {
+		if !have[want] {
+			t.Errorf("required stat %q not registered by InstrumentMetrics", want)
+		}
 	}
 }

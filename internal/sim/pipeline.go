@@ -36,6 +36,8 @@ func newLookahead(s workload.Stream, capacity int) *lookahead {
 
 // fill tops the buffer up to capacity, one contiguous free segment at a
 // time (at most two segments when the free space wraps).
+//
+//itp:hotpath
 func (l *lookahead) fill() {
 	for !l.ended && l.size < len(l.buf) {
 		wpos := (l.head + l.size) & l.mask
@@ -63,6 +65,8 @@ func (l *lookahead) fill() {
 }
 
 // peek returns the i-th upcoming instruction (0 = next), or nil.
+//
+//itp:hotpath
 func (l *lookahead) peek(i int) *workload.Instr {
 	if i >= l.size {
 		l.fill()
@@ -74,6 +78,8 @@ func (l *lookahead) peek(i int) *workload.Instr {
 }
 
 // pop consumes the next instruction.
+//
+//itp:hotpath
 func (l *lookahead) pop(in *workload.Instr) bool {
 	if l.size == 0 {
 		l.fill()
@@ -155,6 +161,8 @@ func newThreadCtx(id uint8, s workload.Stream, cfg *config.SystemConfig, fetchSt
 const pipelineFillLatency = 8
 
 // step simulates one instruction of thread t end to end.
+//
+//itp:hotpath
 func (m *Machine) step(t *threadCtx) {
 	var in workload.Instr
 	if t.retired >= t.budget || !t.la.pop(&in) {
@@ -270,8 +278,8 @@ func (m *Machine) step(t *threadCtx) {
 	if t.robPos++; t.robPos == len(t.robRing) {
 		t.robPos = 0
 	}
-	if rt > m.maxRetireCycle {
-		m.maxRetireCycle = rt
+	if c := arch.Cycle(rt); c > m.maxRetireCycle {
+		m.maxRetireCycle = c
 	}
 
 	t.retired++
@@ -283,6 +291,7 @@ func (m *Machine) step(t *threadCtx) {
 	if rtot&retirePublishMask == 0 {
 		m.retiredTotal.Store(rtot)
 		if rtot&diagPublishMask == 0 {
+			//itp:cold — diagnostic snapshot every 2^20 retires
 			m.publishDiag()
 		}
 	}
@@ -292,8 +301,9 @@ func (m *Machine) step(t *threadCtx) {
 	// Close the metrics window after the controller has judged its own
 	// window, so the record carries the decision that this boundary
 	// produced (the windows are aligned when the sizes match).
-	if m.met != nil && rtot >= m.met.next {
-		m.closeMetricsWindow(rtot)
+	if m.met != nil && arch.Instr(rtot) >= m.met.next {
+		//itp:cold — window close runs once per thousand retires, not per instruction
+		m.closeMetricsWindow(arch.Instr(rtot))
 	}
 	if t.retired >= t.budget {
 		t.done = true
@@ -310,6 +320,8 @@ const retirePublishMask = 1<<10 - 1
 // scanBudget lookahead instructions, the most FDIPDistance blocks can
 // hold — or at the first block whose translation is unknown; the front
 // end cannot prefetch past a pending instruction translation.
+//
+//itp:hotpath
 func (m *Machine) fdipScan(t *threadCtx) {
 	if !m.cfg.L1IFDIP {
 		return

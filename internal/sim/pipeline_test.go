@@ -16,7 +16,7 @@ func runCycles(t *testing.T, cfg config.SystemConfig, instrs []workload.Instr) u
 		t.Fatal(err)
 	}
 	res, _ := m.Run([]workload.Stream{&workload.Replay{Instrs: instrs}}, uint64(len(instrs)))
-	return res.Stats.Cycles
+	return uint64(res.Stats.Cycles)
 }
 
 // straightline builds n instructions in one code page with no memory ops.

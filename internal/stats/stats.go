@@ -55,6 +55,8 @@ func (b Bucket) String() string {
 }
 
 // BucketFor maps an access to its MPKI category.
+//
+//itp:hotpath
 func BucketFor(a *arch.Access) Bucket {
 	switch a.Kind {
 	case arch.IFetch:
@@ -86,6 +88,8 @@ type Level struct {
 }
 
 // Record notes one access outcome in bucket b.
+//
+//itp:hotpath
 func (l *Level) Record(b Bucket, hit bool) {
 	if hit {
 		l.Hits[b]++
@@ -95,6 +99,8 @@ func (l *Level) Record(b Bucket, hit bool) {
 }
 
 // RecordMissLatency accumulates the observed latency of one demand miss.
+//
+//itp:hotpath
 func (l *Level) RecordMissLatency(cycles uint64) {
 	l.MissLatSum += cycles
 	l.MissLatCnt++
@@ -151,8 +157,9 @@ func (l *Level) Reset() {
 
 // Sim aggregates everything one simulation run produces.
 type Sim struct {
-	// Cycles is the total simulated cycles.
-	Cycles uint64
+	// Cycles is the total simulated cycles (arch.Cycle, not a bare
+	// uint64, so it cannot silently cross with instruction counts).
+	Cycles arch.Cycle
 	// Instructions retired, per hardware thread.
 	Instructions [2]uint64
 
@@ -162,14 +169,14 @@ type Sim struct {
 
 	// InstrTransCycles accumulates front-end stall cycles attributable
 	// to instruction address translation (the Figure 1 metric).
-	InstrTransCycles uint64
+	InstrTransCycles arch.Cycle
 	// DataTransCycles accumulates data translation latency (informational).
-	DataTransCycles uint64
+	DataTransCycles arch.Cycle
 
 	// PageWalks counts completed walks by translation class.
 	PageWalks [2]uint64
 	// WalkLatSum accumulates total walk latency by class.
-	WalkLatSum [2]uint64
+	WalkLatSum [2]arch.Cycle
 	// PSCHits counts page-structure-cache hits per level index (5..2 → 0..3).
 	PSCHits [4]uint64
 

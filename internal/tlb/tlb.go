@@ -42,13 +42,19 @@ type Request struct {
 // replacement.Policy shape.
 type Policy interface {
 	Name() string
+	//itp:hotpath
 	Victim(setIdx int, set []Entry, req *Request) int
+	//itp:hotpath
 	OnFill(setIdx int, set []Entry, way int, req *Request)
+	//itp:hotpath
 	OnHit(setIdx int, set []Entry, way int, req *Request)
+	//itp:hotpath
 	OnEvict(setIdx int, set []Entry, way int)
 }
 
 // InitSet establishes the stack-position permutation for a fresh set.
+//
+//itp:hotpath
 func InitSet(set []Entry) {
 	for i := range set {
 		set[i].Stack = uint8(i)
@@ -56,6 +62,8 @@ func InitSet(set []Entry) {
 }
 
 // InvalidWay returns an invalid way with the deepest stack position, or -1.
+//
+//itp:hotpath
 func InvalidWay(set []Entry) int {
 	best, bestStack := -1, -1
 	for i := range set {
@@ -67,6 +75,8 @@ func InvalidWay(set []Entry) int {
 }
 
 // StackLRUVictim returns the way at the stack bottom, invalid ways first.
+//
+//itp:hotpath
 func StackLRUVictim(set []Entry) int {
 	if w := InvalidWay(set); w >= 0 {
 		return w
@@ -82,6 +92,8 @@ func StackLRUVictim(set []Entry) int {
 
 // MoveToStackPos repositions way to stack position pos, preserving the
 // permutation invariant.
+//
+//itp:hotpath
 func MoveToStackPos(set []Entry, way, pos int) {
 	old := int(set[way].Stack)
 	switch {
@@ -122,8 +134,10 @@ func CheckStackInvariant(set []Entry) bool {
 type Store interface {
 	// Lookup searches for the translation of vaddr. On a hit it returns
 	// the physical page number and the entry's page size.
+	//itp:hotpath
 	Lookup(vaddr arch.Addr, pc uint64, class arch.Class, thread uint8) (ppn uint64, pageBits uint8, hit bool)
 	// Insert installs a translation after a fill.
+	//itp:hotpath
 	Insert(vaddr arch.Addr, ppn uint64, pageBits uint8, class arch.Class, pc uint64, thread uint8)
 	// Entries returns total capacity.
 	Entries() int
@@ -180,9 +194,13 @@ func (t *TLB) Entries() int { return len(t.sets) * len(t.sets[0]) }
 func (t *TLB) Policy() Policy { return t.policy }
 
 // setFor returns the set index for a VPN.
+//
+//itp:hotpath
 func (t *TLB) setFor(vpn uint64) int { return int(vpn & t.setMask) }
 
 // lookupSize probes one page size. Returns (way, setIdx, found).
+//
+//itp:hotpath
 func (t *TLB) lookupSize(vaddr arch.Addr, pageBits uint8, thread uint8) (int, int) {
 	vpn := vaddr >> pageBits
 	si := t.setFor(vpn)
@@ -211,6 +229,8 @@ func (t *TLB) Instrument(reg *metrics.Registry, prefix string) {
 }
 
 // Lookup implements Store. A hit triggers the policy's promotion rule.
+//
+//itp:hotpath
 func (t *TLB) Lookup(vaddr arch.Addr, pc uint64, class arch.Class, thread uint8) (uint64, uint8, bool) {
 	for _, pageBits := range [2]uint8{arch.PageBits4K, arch.PageBits2M} {
 		si, w := t.lookupSize(vaddr, pageBits, thread)
@@ -238,12 +258,16 @@ func (t *TLB) Lookup(vaddr arch.Addr, pc uint64, class arch.Class, thread uint8)
 
 // Contains reports whether the translation is present without touching
 // replacement state (used by tests and the FDIP probe path).
+//
+//itp:hotpath
 func (t *TLB) Contains(vaddr arch.Addr, thread uint8) bool {
 	_, _, _, ok := t.Peek(vaddr, thread)
 	return ok
 }
 
 // Peek returns the translation without updating replacement state.
+//
+//itp:hotpath
 func (t *TLB) Peek(vaddr arch.Addr, thread uint8) (ppn uint64, pageBits uint8, class arch.Class, ok bool) {
 	for _, bits := range [2]uint8{arch.PageBits4K, arch.PageBits2M} {
 		if si, w := t.lookupSize(vaddr, bits, thread); w >= 0 {
@@ -256,6 +280,8 @@ func (t *TLB) Peek(vaddr arch.Addr, thread uint8) (ppn uint64, pageBits uint8, c
 
 // Insert implements Store: victimise per policy, write the entry, then
 // apply the policy's insertion rule.
+//
+//itp:hotpath
 func (t *TLB) Insert(vaddr arch.Addr, ppn uint64, pageBits uint8, class arch.Class, pc uint64, thread uint8) {
 	vpn := vaddr >> pageBits
 	si := t.setFor(vpn)
@@ -339,11 +365,15 @@ func (s *Split) Instrument(reg *metrics.Registry, prefix string) {
 }
 
 // Lookup implements Store, routing by class.
+//
+//itp:hotpath
 func (s *Split) Lookup(vaddr arch.Addr, pc uint64, class arch.Class, thread uint8) (uint64, uint8, bool) {
 	return s.side(class).Lookup(vaddr, pc, class, thread)
 }
 
 // Insert implements Store.
+//
+//itp:hotpath
 func (s *Split) Insert(vaddr arch.Addr, ppn uint64, pageBits uint8, class arch.Class, pc uint64, thread uint8) {
 	s.side(class).Insert(vaddr, ppn, pageBits, class, pc, thread)
 }
@@ -351,6 +381,7 @@ func (s *Split) Insert(vaddr arch.Addr, ppn uint64, pageBits uint8, class arch.C
 // Entries implements Store.
 func (s *Split) Entries() int { return s.instr.Entries() + s.data.Entries() }
 
+//itp:hotpath
 func (s *Split) side(class arch.Class) *TLB {
 	if class == arch.InstrClass {
 		return s.instr

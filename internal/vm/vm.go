@@ -27,11 +27,15 @@ const (
 
 // LevelShift returns the VA bit position indexing level l (5..1):
 // L1 indexes bits [20:12], L2 [29:21], ..., L5 [56:48].
+//
+//itp:hotpath
 func LevelShift(level int) uint {
 	return uint(arch.PageBits4K + 9*(level-1))
 }
 
 // levelIndex extracts the 9-bit radix index of va at level l.
+//
+//itp:hotpath
 func levelIndex(va arch.Addr, level int) int {
 	return int((va >> LevelShift(level)) & (ptesPerNode - 1))
 }
@@ -85,6 +89,8 @@ type Translation struct {
 }
 
 // PhysAddr reconstructs the full physical address for va.
+//
+//itp:hotpath
 func (t Translation) PhysAddr(va arch.Addr) arch.Addr {
 	mask := (arch.Addr(1) << t.PageBits) - 1
 	return t.PPN<<t.PageBits | (va & mask)
@@ -130,6 +136,8 @@ func NewPageTable(alloc *PhysAlloc, hugeFraction float64, seed uint64) *PageTabl
 }
 
 // isHuge decides deterministically whether va's 2MB region uses a 2MB page.
+//
+//itp:hotpath
 func (pt *PageTable) isHuge(va arch.Addr) bool {
 	if pt.hugeFraction <= 0 {
 		return false
@@ -148,6 +156,8 @@ func (pt *PageTable) isHuge(va arch.Addr) bool {
 // Translate resolves va, building page-table nodes and allocating the
 // backing physical page on first touch. The returned Steps list the PTE
 // references of a full walk.
+//
+//itp:hotpath
 func (pt *PageTable) Translate(va arch.Addr) Translation {
 	huge := pt.isHuge(va)
 	leafLevel := 1
@@ -167,6 +177,7 @@ func (pt *PageTable) Translate(va arch.Addr) Translation {
 		if level == leafLevel {
 			ppn, ok := n.leafPPN[idx]
 			if !ok {
+				//itp:cold — first touch of a page; allocation is off the steady-state path
 				ppn = uint64(pt.alloc.Alloc(pageBits) >> pageBits)
 				n.leafPPN[idx] = ppn
 				if huge {
@@ -180,6 +191,7 @@ func (pt *PageTable) Translate(va arch.Addr) Translation {
 		}
 		child, ok := n.children[idx]
 		if !ok {
+			//itp:cold — first touch of a table node; allocation is off the steady-state path
 			child = pt.newNode()
 			n.children[idx] = child
 		}

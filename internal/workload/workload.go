@@ -42,6 +42,7 @@ type Instr struct {
 // stream has more instructions; generators are infinite and the simulator
 // enforces the instruction budget.
 type Stream interface {
+	//itp:hotpath
 	Next(*Instr) bool
 }
 
@@ -59,6 +60,7 @@ type rng struct{ state uint64 }
 
 func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0x9e3779b97f4a7c15} }
 
+//itp:hotpath
 func (r *rng) next() uint64 {
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
@@ -67,8 +69,10 @@ func (r *rng) next() uint64 {
 	return z ^ (z >> 31)
 }
 
+//itp:hotpath
 func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
 
+//itp:hotpath
 func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
 
 // zipf samples ranks 0..n-1 from an approximate power-law distribution
@@ -91,6 +95,7 @@ func newZipf(n int, s float64) *zipf {
 	return z
 }
 
+//itp:hotpath
 func (z *zipf) sample(r *rng) int {
 	u := r.float()
 	x := math.Pow(u*z.scale+1, z.inv) // in [1, n]
@@ -188,6 +193,7 @@ type reuseRing struct {
 	next int
 }
 
+//itp:hotpath
 func (rr *reuseRing) push(a arch.Addr) {
 	rr.buf[rr.next] = a
 	rr.next = (rr.next + 1) % len(rr.buf)
@@ -196,6 +202,7 @@ func (rr *reuseRing) push(a arch.Addr) {
 	}
 }
 
+//itp:hotpath
 func (rr *reuseRing) pick(r *rng) (arch.Addr, bool) {
 	if rr.n == 0 {
 		return 0, false
@@ -262,6 +269,7 @@ func NewServer(p ServerParams) Stream {
 		instrPerF: instrPerF,
 		streamPos: streamBase,
 		stackPtr:  stackBase,
+		callStack: make([]int, 0, 64),
 	}
 	s.fZipf = newZipf(s.headFuncs, p.CodeZipf)
 	if p.ColdZipf > 0 {
@@ -275,6 +283,8 @@ func NewServer(p ServerParams) Stream {
 // chaseAddr picks a pointer-chase target: mostly the current request
 // context inside the vast tier (whose page walks miss the caches without
 // xPTP), sometimes the warm tier.
+//
+//itp:hotpath
 func (s *server) chaseAddr() arch.Addr {
 	var page int
 	if s.r.float() < 0.8 {
@@ -283,6 +293,7 @@ func (s *server) chaseAddr() arch.Addr {
 			seg = s.p.ColdDataPages
 		}
 		if s.segZipf == nil {
+			//itp:cold — one-time lazy construction on the first chase
 			s.segZipf = newZipf(seg, 0.8)
 			s.segStart = s.r.intn(s.p.ColdDataPages - seg + 1)
 		}
@@ -304,6 +315,8 @@ func (s *server) chaseAddr() arch.Addr {
 
 // nextFunc picks a call target from the three code tiers. Warm/cold
 // targets come in bursts of consecutive calls.
+//
+//itp:hotpath
 func (s *server) nextFunc() int {
 	if s.codeBurstLeft > 0 {
 		s.codeBurstLeft--
@@ -312,33 +325,40 @@ func (s *server) nextFunc() int {
 		}
 		return s.headFuncs + s.r.intn(s.warmFuncs)
 	}
-	burstLen := func() int {
-		l := s.p.CodeBurstLen
-		if l < 1 {
-			l = 1
-		}
-		return l/2 + s.r.intn(l)
-	}
 	switch u := s.r.float(); {
 	case u < s.p.ColdCodeFrac:
 		s.codeBurstCold = true
-		s.codeBurstLeft = burstLen()
+		s.codeBurstLeft = s.burstLen()
 		return s.headFuncs + s.warmFuncs + s.r.intn(s.coldFuncs)
 	case u < s.p.ColdCodeFrac+s.p.WarmCodeFrac:
 		s.codeBurstCold = false
-		s.codeBurstLeft = burstLen()
+		s.codeBurstLeft = s.burstLen()
 		return s.headFuncs + s.r.intn(s.warmFuncs)
 	default:
 		return s.fZipf.sample(s.r)
 	}
 }
 
+// burstLen draws the length of a warm/cold call burst.
+//
+//itp:hotpath
+func (s *server) burstLen() int {
+	l := s.p.CodeBurstLen
+	if l < 1 {
+		l = 1
+	}
+	return l/2 + s.r.intn(l)
+}
+
 // funcPC returns the starting PC of function f. Functions are laid out in
 // popularity order, so the Zipf rank order matches the address order.
+//
+//itp:hotpath
 func (s *server) funcPC(f int) arch.Addr {
 	return codeBase + arch.Addr(f)*arch.Addr(s.p.FuncBytes)
 }
 
+//itp:hotpath
 func (s *server) dataAddr() arch.Addr {
 	u := s.r.float()
 	switch {
@@ -384,6 +404,8 @@ func (s *server) dataAddr() arch.Addr {
 }
 
 // Next implements Stream.
+//
+//itp:hotpath
 func (s *server) Next(in *Instr) bool {
 	*in = Instr{}
 	s.instrCount++
@@ -422,6 +444,7 @@ func (s *server) Next(in *Instr) bool {
 			s.callStack = s.callStack[:len(s.callStack)-1]
 			s.stackPtr += 256
 		} else {
+			//itp:nonalloc — depth capped at 32 by the return branch; cap 64 never grows
 			s.callStack = append(s.callStack, s.curFunc)
 			s.curFunc = s.nextFunc()
 			s.stackPtr -= 256
@@ -445,6 +468,8 @@ func (s *server) Next(in *Instr) bool {
 // NextBatch implements NextBatcher; server streams are infinite, so the
 // batch is always full. The direct method call devirtualizes the
 // per-instruction step relative to FillBatch's Stream.Next.
+//
+//itp:hotpath
 func (s *server) NextBatch(buf []Instr) int {
 	for i := range buf {
 		s.Next(&buf[i])
@@ -502,6 +527,7 @@ func NewSpec(p SpecParams) Stream {
 	return s
 }
 
+//itp:hotpath
 func (s *spec) pickLoop() {
 	codeBytes := s.p.CodePages * arch.PageSize4K
 	maxStart := codeBytes - s.p.LoopLen*4
@@ -513,6 +539,7 @@ func (s *spec) pickLoop() {
 	s.iter = 0
 }
 
+//itp:hotpath
 func (s *spec) dataAddr() arch.Addr {
 	u := s.r.float()
 	switch {
@@ -533,6 +560,8 @@ func (s *spec) dataAddr() arch.Addr {
 }
 
 // Next implements Stream.
+//
+//itp:hotpath
 func (s *spec) Next(in *Instr) bool {
 	*in = Instr{}
 	in.PC = s.loopStart + arch.Addr(s.loopInstr*4)
@@ -559,6 +588,8 @@ func (s *spec) Next(in *Instr) bool {
 
 // NextBatch implements NextBatcher; spec streams are infinite, so the
 // batch is always full.
+//
+//itp:hotpath
 func (s *spec) NextBatch(buf []Instr) int {
 	for i := range buf {
 		s.Next(&buf[i])
@@ -575,6 +606,7 @@ type limited struct {
 	left uint64
 }
 
+//itp:hotpath
 func (l *limited) Next(in *Instr) bool {
 	if l.left == 0 {
 		return false
@@ -585,6 +617,8 @@ func (l *limited) Next(in *Instr) bool {
 
 // NextBatch implements NextBatcher, capping the batch at the remaining
 // budget and delegating to the source's bulk path when it has one.
+//
+//itp:hotpath
 func (l *limited) NextBatch(buf []Instr) int {
 	if l.left == 0 {
 		return 0
@@ -609,6 +643,8 @@ type Replay struct {
 }
 
 // Next implements Stream.
+//
+//itp:hotpath
 func (r *Replay) Next(in *Instr) bool {
 	if r.pos >= len(r.Instrs) {
 		return false
@@ -619,6 +655,8 @@ func (r *Replay) Next(in *Instr) bool {
 }
 
 // NextBatch implements NextBatcher as a bulk copy of the recorded slice.
+//
+//itp:hotpath
 func (r *Replay) NextBatch(buf []Instr) int {
 	n := copy(buf, r.Instrs[r.pos:])
 	r.pos += n
