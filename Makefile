@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint staticcheck govulncheck check cover-check fuzz-smoke bench bench-figures bench-baseline bench-compare bench-check results quick-results clean
+.PHONY: all build test vet lint staticcheck govulncheck check cover-check fuzz-smoke chaos bench bench-figures bench-baseline bench-compare bench-check results quick-results clean
 
 all: build vet lint test
 
@@ -54,9 +54,18 @@ check: lint staticcheck govulncheck
 cover-check:
 	sh scripts/check_coverage.sh
 
-# Short fuzz pass over the trace decoder (CI smoke).
+# Short fuzz pass over the parsers that read untrusted bytes: the trace
+# decoder and the checkpoint-journal recovery path (CI smoke).
 fuzz-smoke:
 	$(GO) test -run FuzzReader -fuzz FuzzReader -fuzztime 10s ./internal/trace
+	$(GO) test -run FuzzCheckpointReader -fuzz FuzzCheckpointReader -fuzztime 10s ./internal/harness
+
+# Fault-injection battery: every chaos fault class driven through the real
+# simulator and supervision stack under the race detector. Each scenario
+# must recover with the fault-free beacon chain or fail with a structured
+# error naming the injected fault.
+chaos:
+	$(GO) test -race -count=1 -run TestBattery ./internal/chaos
 
 # Benchmark baseline file: BENCH_<date>.json unless overridden.
 BENCH_BASELINE ?= BENCH_$(shell date +%Y%m%d).json

@@ -13,11 +13,14 @@
 //	itpsim -workload srv_000,srv_001 -retries 2 -job-timeout 10m
 //	itpsim -list
 //	itpsim -trace trace.itpt.gz -stlb itp
+//	itpsim -workload srv_000 -beacon-interval 100000 -audit
+//	itpsim -workload srv_000 -chaos read -retries 2 -beacon-interval 100000
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
@@ -25,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"itpsim/internal/chaos"
 	"itpsim/internal/config"
 	"itpsim/internal/harness"
 	"itpsim/internal/metrics"
@@ -56,6 +60,11 @@ func main() {
 		metricsOut    = flag.String("metrics-out", "", "write the per-window metrics series (JSON lines) to this file")
 		metricsWindow = flag.Uint64("metrics-window", 0, "metrics sampling window in retired instructions (0 = the adaptive controller's window when one exists, else 1000)")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
+
+		beaconEvery = flag.Uint64("beacon-interval", 0, "emit deterministic state beacons every N retired instructions (0 disables; the final chain fingerprint prints with the report)")
+		auditOn     = flag.Bool("audit", false, "run the structural invariant auditor during simulation; violations abort the run with a diagnosis")
+		chaosKind   = flag.String("chaos", "", "robustness drill, inject a seeded fault: read (tear trace ingestion mid-stream; retries recover), torn-metrics, slow-metrics")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "seed for -chaos fault placement and the retry-backoff jitter")
 
 		retries     = flag.Int("retries", 0, "retry attempts for transiently failed jobs")
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
@@ -110,6 +119,7 @@ func main() {
 		WatchdogInterval: *wdInterval,
 		WatchdogSamples:  *wdSamples,
 		Checkpoint:       *checkpoint,
+		Seed:             *chaosSeed,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -147,7 +157,16 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		exporter = metrics.NewJSONL(f)
+		// The metrics drills fault the export path only: the simulation
+		// must complete with an identical beacon chain either way.
+		var sink io.Writer = f
+		switch *chaosKind {
+		case "torn-metrics":
+			sink = chaos.TornAfter(f, chaos.NewRNG(*chaosSeed).Between(256, 1<<20))
+		case "slow-metrics":
+			sink = chaos.Slow(f, func() { time.Sleep(200 * time.Microsecond) })
+		}
+		exporter = metrics.NewJSONL(sink)
 		cfgJSON, err := cfg.MarshalPretty()
 		if err != nil {
 			fatal(err)
@@ -169,7 +188,15 @@ func main() {
 			fatal(err)
 		}
 	}
+	// attachMetrics arms each job's machine: robustness layers (beacons,
+	// auditor) first, then the optional registry/export instrumentation.
 	attachMetrics := func(m *sim.Machine, job string) {
+		if *beaconEvery > 0 {
+			m.EnableBeacons(*beaconEvery)
+		}
+		if *auditOn {
+			m.EnableAudit(0)
+		}
 		if exporter == nil && *pprofAddr == "" {
 			return
 		}
@@ -182,12 +209,23 @@ func main() {
 		}
 		reg.PublishExpvar("itpsim." + job)
 	}
+	// faultStream is the -chaos read drill: the first attempt's ingestion
+	// dies mid-stream with a structured fault; retries read clean bytes
+	// and must reproduce the fault-free beacon chain.
+	faultStream := func(s workload.Stream, attempt int) workload.Stream {
+		if *chaosKind != "read" || attempt != 0 {
+			return s
+		}
+		at := uint64(chaos.NewRNG(*chaosSeed).Between(1, int64(*warmup+*measure)))
+		return workload.NewErrorStream(s, at,
+			&chaos.Error{Kind: chaos.ReadFault, Op: "ingest", Off: int64(at)})
+	}
 
 	if *tracePath == "" && len(names) > 1 {
 		if *smtPartner != "" {
 			fatal(fmt.Errorf("-smt requires a single -workload"))
 		}
-		runBatch(cat, cfg, hopts, names, *warmup, *measure, attachMetrics)
+		runBatch(cat, cfg, hopts, names, *warmup, *measure, attachMetrics, faultStream)
 		return
 	}
 
@@ -250,7 +288,7 @@ func main() {
 			// Decode-ahead ingestion: trace decode (gzip+uvarint) or
 			// synthetic generation overlaps the simulation.
 			for i, s := range streams {
-				p := workload.Prefetch(s)
+				p := workload.Prefetch(faultStream(s, jc.Attempt()))
 				defer p.Close()
 				streams[i] = p
 			}
@@ -272,13 +310,17 @@ func main() {
 	fmt.Printf("workloads: %v\npolicies: STLB=%s L2C=%s LLC=%s\nwarmup=%d measure=%d per thread\n\n",
 		labels, cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy, *warmup, *measure)
 	fmt.Print(s)
+	if b := outs[0].Beacon; b != nil {
+		fmt.Printf("\nbeacon chain: %016x over %d beacons\n", b.Chain, b.Count)
+	}
 }
 
 // runBatch is the supervised multi-workload mode: one harness job per
 // workload, a compact summary table, and an exit status reflecting
 // whether every job succeeded.
 func runBatch(cat *workload.Catalog, cfg config.SystemConfig, hopts harness.Options,
-	names []string, warmup, measure uint64, attachMetrics func(*sim.Machine, string)) {
+	names []string, warmup, measure uint64, attachMetrics func(*sim.Machine, string),
+	faultStream func(workload.Stream, int) workload.Stream) {
 	jobs := make([]harness.Job[*stats.Sim], len(names))
 	for i, name := range names {
 		name := name
@@ -297,7 +339,7 @@ func runBatch(cat *workload.Catalog, cfg config.SystemConfig, hopts harness.Opti
 				}
 				jc.Attach(m)
 				attachMetrics(m, name)
-				p := workload.Prefetch(spec.NewStream())
+				p := workload.Prefetch(faultStream(spec.NewStream(), jc.Attempt()))
 				defer p.Close()
 				res, err := m.RunWarmup([]workload.Stream{p}, warmup, measure)
 				if err != nil {
@@ -327,6 +369,9 @@ func runBatch(cat *workload.Catalog, cfg config.SystemConfig, hopts harness.Opti
 		status := "ok"
 		if out.Cached {
 			status = "ok (checkpoint)"
+		}
+		if b := out.Beacon; b != nil {
+			status += fmt.Sprintf(" chain=%016x/%d", b.Chain, b.Count)
 		}
 		ti := s.TotalInstructions()
 		fmt.Printf("%-12s %8.4f %9.3f %9.1f %7.1f%% %s\n",

@@ -85,6 +85,9 @@ func main() {
 		metricsWindow = flag.Uint64("metrics-window", 0, "metrics sampling window in retired instructions (0 = each job's adaptive controller window when one exists, else 1000)")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
 
+		beaconEvery = flag.Uint64("beacon-interval", 0, "emit deterministic state beacons every N retired instructions (0 disables); chains are journaled with the checkpoint")
+		auditOn     = flag.Bool("audit", false, "run the structural invariant auditor during each simulation; violations fail the job with a diagnosis")
+
 		retries     = flag.Int("retries", 0, "retry attempts for transiently failed jobs")
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
 		checkpoint  = flag.String("checkpoint", "", "JSON-lines checkpoint journal; completed jobs are skipped on re-run")
@@ -223,6 +226,12 @@ func main() {
 						return nil, harness.Permanent(err)
 					}
 					jc.Attach(m)
+					if *beaconEvery > 0 {
+						m.EnableBeacons(*beaconEvery)
+					}
+					if *auditOn {
+						m.EnableAudit(0)
+					}
 					attachMetrics(m, fmt.Sprintf("%s=%g/%s", *param, v, name))
 					p := workload.Prefetch(spec.NewStream())
 					defer p.Close()

@@ -1,0 +1,58 @@
+package arch
+
+// StateHash is an FNV-1a-style 64-bit running hash of architectural
+// state. Components fold their tag/metadata arrays into it word by word;
+// two simulations are in identical architectural state iff their folds
+// produce the same value. The fold is pure integer arithmetic — no
+// allocation, no floats, no iteration-order sensitivity as long as
+// callers visit state in a fixed structural order — so beacon streams are
+// bit-identical across runs, ingestion modes, and race/norace builds.
+type StateHash uint64
+
+const (
+	fnvOffset64 StateHash = 14695981039346656037
+	fnvPrime64  StateHash = 1099511628211
+)
+
+// NewStateHash returns the canonical initial value.
+//
+//itp:hotpath
+func NewStateHash() StateHash { return fnvOffset64 }
+
+// Word folds one 64-bit value, byte by byte (FNV-1a ordering).
+//
+//itp:hotpath
+func (h *StateHash) Word(v uint64) {
+	x := *h
+	for i := 0; i < 8; i++ {
+		x ^= StateHash(v & 0xff)
+		x *= fnvPrime64
+		v >>= 8
+	}
+	*h = x
+}
+
+// Bool folds one boolean as a 0/1 word.
+//
+//itp:hotpath
+func (h *StateHash) Bool(b bool) {
+	if b {
+		h.Word(1)
+	} else {
+		h.Word(0)
+	}
+}
+
+// Sum returns the current fold.
+//
+//itp:hotpath
+func (h *StateHash) Sum() uint64 { return uint64(*h) }
+
+// StateHasher is implemented by components that can fold their complete
+// architectural state (tags, metadata, replacement state, in-flight
+// bookkeeping) into a StateHash. Implementations must visit state in a
+// fixed structural order and must not allocate: beacons are emitted from
+// the simulation hot loop's cold boundary path.
+type StateHasher interface {
+	HashState(h *StateHash)
+}

@@ -1,0 +1,63 @@
+package arch
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// TestStateHashMatchesFNV pins the fold to the reference FNV-1a: Word
+// must hash exactly like feeding the value's little-endian bytes to the
+// standard library implementation, so the format is stable and
+// documented, not an accident of this file.
+func TestStateHashMatchesFNV(t *testing.T) {
+	values := []uint64{0, 1, 0xdeadbeef, ^uint64(0), 1 << 63}
+	ref := fnv.New64a()
+	for _, v := range values {
+		var le [8]byte
+		for i := range le {
+			le[i] = byte(v >> (8 * i))
+		}
+		ref.Write(le[:])
+	}
+	h := NewStateHash()
+	for _, v := range values {
+		h.Word(v)
+	}
+	if h.Sum() != ref.Sum64() {
+		t.Fatalf("StateHash %016x, reference FNV-1a %016x", h.Sum(), ref.Sum64())
+	}
+}
+
+func TestStateHashEmpty(t *testing.T) {
+	h := NewStateHash()
+	if h.Sum() != fnv.New64a().Sum64() {
+		t.Errorf("empty hash should equal the FNV-1a offset basis, got %016x", h.Sum())
+	}
+}
+
+func TestStateHashBool(t *testing.T) {
+	ht := NewStateHash()
+	ht.Bool(true)
+	hf := NewStateHash()
+	hf.Bool(false)
+	if ht.Sum() == hf.Sum() {
+		t.Error("Bool(true) and Bool(false) should fold differently")
+	}
+	h1 := NewStateHash()
+	h1.Word(1)
+	if ht.Sum() != h1.Sum() {
+		t.Error("Bool(true) should fold like Word(1)")
+	}
+}
+
+func TestStateHashOrderSensitive(t *testing.T) {
+	a := NewStateHash()
+	a.Word(1)
+	a.Word(2)
+	b := NewStateHash()
+	b.Word(2)
+	b.Word(1)
+	if a.Sum() == b.Sum() {
+		t.Error("fold must be order-sensitive")
+	}
+}

@@ -1,0 +1,155 @@
+// Package audit is the runtime invariant auditor: a registry of
+// per-component structural checks (LRU stack well-formedness, MSHR leak
+// detection, ring bounds, TLB↔page-table coherence, protection-bit
+// consistency) that can run periodically inside a simulation or as a
+// post-mortem over a killed run's final state. A violation means the
+// simulator's data structures are corrupt — the run's statistics are
+// garbage from that point on — so violations surface as structured,
+// diagnosable errors instead of silently poisoning downstream sweeps.
+//
+// The package is deliberately dependency-free (it imports only fmt and
+// strings): every simulator component can implement Checkable without an
+// import cycle, and the deterministic-core rules of itpvet's
+// simdeterminism analyzer apply to it in full.
+package audit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one failed structural invariant.
+type Violation struct {
+	// Component names the structure that failed ("stlb", "l2c", ...).
+	Component string
+	// Rule names the invariant ("stack-permutation", "mshr-leak", ...).
+	Rule string
+	// Detail locates and describes the corruption.
+	Detail string
+}
+
+// String formats the violation compactly.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s/%s: %s", v.Component, v.Rule, v.Detail)
+}
+
+// Error is the structured verdict of a failed audit pass: every violation
+// found, stamped with the retired-instruction count the pass ran at. It
+// is deterministic for a seeded run, so the supervising harness treats it
+// as permanent (non-retryable) — re-running would corrupt identically.
+type Error struct {
+	// Retired is the retired-instruction count at the audit boundary.
+	Retired uint64
+	// Violations holds every invariant that failed, in registration
+	// order.
+	Violations []Violation
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d invariant violation(s) at retired=%d:", len(e.Violations), e.Retired)
+	for _, v := range e.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// Report collects violations during one audit pass. Component checks
+// receive it through Checkable.AuditState and call Violatef for each
+// failed invariant; the auditor stamps the component name.
+type Report struct {
+	component  string
+	violations []Violation
+
+	// Now is the current simulated cycle, for checks that judge in-flight
+	// bookkeeping (MSHR leak detection) against the clock.
+	Now uint64
+	// MaxViolations caps collection so a totally corrupt structure
+	// produces a readable report instead of one line per set (0 means
+	// DefaultMaxViolations).
+	MaxViolations int
+}
+
+// DefaultMaxViolations bounds one pass's report.
+const DefaultMaxViolations = 32
+
+// setComponent names the component whose checks run next.
+func (r *Report) setComponent(name string) { r.component = name }
+
+// Violatef records one failed invariant against the current component.
+func (r *Report) Violatef(rule, format string, args ...any) {
+	max := r.MaxViolations
+	if max <= 0 {
+		max = DefaultMaxViolations
+	}
+	if len(r.violations) >= max {
+		return
+	}
+	r.violations = append(r.violations, Violation{
+		Component: r.component,
+		Rule:      rule,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Clean reports whether the pass found no violations.
+func (r *Report) Clean() bool { return len(r.violations) == 0 }
+
+// Violations returns the collected violations.
+func (r *Report) Violations() []Violation { return r.violations }
+
+// Err converts the pass into its verdict: nil when clean, an *Error
+// carrying every violation otherwise.
+func (r *Report) Err(retired uint64) error {
+	if r.Clean() {
+		return nil
+	}
+	return &Error{Retired: retired, Violations: r.violations}
+}
+
+// Checkable is implemented by components that can audit their own
+// structural invariants. Implementations must only read state (an audit
+// must never perturb the simulation) and must be callable from the
+// simulation goroutine at an instruction boundary.
+type Checkable interface {
+	AuditState(r *Report)
+}
+
+// Auditor runs a registered set of named component checks as one pass.
+type Auditor struct {
+	comps []namedCheck
+}
+
+type namedCheck struct {
+	name string
+	c    Checkable
+}
+
+// Register adds a component check; passes run checks in registration
+// order, so reports are deterministic.
+func (a *Auditor) Register(name string, c Checkable) {
+	a.comps = append(a.comps, namedCheck{name: name, c: c})
+}
+
+// Components returns the registered component names, in order.
+func (a *Auditor) Components() []string {
+	names := make([]string, len(a.comps))
+	for i, nc := range a.comps {
+		names[i] = nc.name
+	}
+	return names
+}
+
+// Run executes one audit pass at the given retired-instruction count and
+// simulated cycle. It returns nil when every invariant holds, or an
+// *Error aggregating the violations.
+func (a *Auditor) Run(retired, now uint64) error {
+	r := &Report{Now: now}
+	for _, nc := range a.comps {
+		r.setComponent(nc.name)
+		nc.c.AuditState(r)
+	}
+	return r.Err(retired)
+}

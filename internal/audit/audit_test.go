@@ -1,0 +1,143 @@
+package audit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fakeComponent reports a fixed set of violations per pass.
+type fakeComponent struct {
+	rules []string
+	calls int
+}
+
+func (f *fakeComponent) AuditState(r *Report) {
+	f.calls++
+	for _, rule := range f.rules {
+		r.Violatef(rule, "detail for %s", rule)
+	}
+}
+
+func TestAuditorCleanPass(t *testing.T) {
+	a := &Auditor{}
+	c1 := &fakeComponent{}
+	c2 := &fakeComponent{}
+	a.Register("alpha", c1)
+	a.Register("beta", c2)
+	if err := a.Run(1000, 5000); err != nil {
+		t.Fatalf("clean components should pass: %v", err)
+	}
+	if c1.calls != 1 || c2.calls != 1 {
+		t.Errorf("each component should be checked once per pass, got %d/%d", c1.calls, c2.calls)
+	}
+	if got := a.Components(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Errorf("Components() = %v", got)
+	}
+}
+
+func TestAuditorCollectsViolationsInOrder(t *testing.T) {
+	a := &Auditor{}
+	a.Register("good", &fakeComponent{})
+	a.Register("bad", &fakeComponent{rules: []string{"rule-a", "rule-b"}})
+	a.Register("worse", &fakeComponent{rules: []string{"rule-c"}})
+	err := a.Run(42, 99)
+	var ae *Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *Error, got %T: %v", err, err)
+	}
+	if ae.Retired != 42 {
+		t.Errorf("Retired = %d", ae.Retired)
+	}
+	want := []Violation{
+		{Component: "bad", Rule: "rule-a", Detail: "detail for rule-a"},
+		{Component: "bad", Rule: "rule-b", Detail: "detail for rule-b"},
+		{Component: "worse", Rule: "rule-c", Detail: "detail for rule-c"},
+	}
+	if len(ae.Violations) != len(want) {
+		t.Fatalf("got %d violations: %v", len(ae.Violations), ae.Violations)
+	}
+	for i := range want {
+		if ae.Violations[i] != want[i] {
+			t.Errorf("violation %d = %+v, want %+v", i, ae.Violations[i], want[i])
+		}
+	}
+	msg := ae.Error()
+	for _, frag := range []string{"3 invariant violation(s)", "retired=42", "bad/rule-a", "worse/rule-c"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("error text missing %q: %s", frag, msg)
+		}
+	}
+}
+
+// chatty violates once per call to Violatef, n times.
+type chatty struct{ n int }
+
+func (c *chatty) AuditState(r *Report) {
+	for i := 0; i < c.n; i++ {
+		r.Violatef("noisy", "violation %d", i)
+	}
+}
+
+func TestReportCapsViolations(t *testing.T) {
+	a := &Auditor{}
+	a.Register("corrupt", &chatty{n: 10 * DefaultMaxViolations})
+	err := a.Run(0, 0)
+	var ae *Error
+	if !errors.As(err, &ae) {
+		t.Fatal(err)
+	}
+	if len(ae.Violations) != DefaultMaxViolations {
+		t.Errorf("report should cap at %d violations, got %d", DefaultMaxViolations, len(ae.Violations))
+	}
+}
+
+func TestReportCustomCap(t *testing.T) {
+	r := &Report{MaxViolations: 2}
+	r.setComponent("x")
+	for i := 0; i < 5; i++ {
+		r.Violatef("r", "v%d", i)
+	}
+	if len(r.Violations()) != 2 {
+		t.Errorf("custom cap: got %d", len(r.Violations()))
+	}
+	if r.Clean() {
+		t.Error("Clean() with violations present")
+	}
+	if r.Err(7) == nil {
+		t.Error("Err() should be non-nil")
+	}
+}
+
+func TestReportCleanErrNil(t *testing.T) {
+	r := &Report{}
+	if !r.Clean() || r.Err(0) != nil {
+		t.Error("empty report should be clean with nil Err")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Component: "stlb", Rule: "stack-permutation", Detail: "set 3"}
+	if got := v.String(); got != "stlb/stack-permutation: set 3" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestReportNowVisible proves checks see the audit clock (the MSHR leak
+// rule depends on it).
+func TestReportNowVisible(t *testing.T) {
+	a := &Auditor{}
+	var seen uint64
+	a.Register("clocked", checkFunc(func(r *Report) { seen = r.Now }))
+	if err := a.Run(10, 777); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 777 {
+		t.Errorf("component saw Now=%d, want 777", seen)
+	}
+}
+
+// checkFunc adapts a func to Checkable.
+type checkFunc func(r *Report)
+
+func (f checkFunc) AuditState(r *Report) { f(r) }

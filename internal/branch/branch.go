@@ -161,3 +161,14 @@ func b2u(b bool) uint64 {
 	}
 	return 0
 }
+
+// HashState implements arch.StateHasher: the full weight tables plus the
+// global history register, so beacon streams cover predictor state.
+func (p *Perceptron) HashState(h *arch.StateHash) {
+	for _, table := range p.tables {
+		for _, w := range table {
+			h.Word(uint64(uint8(w)))
+		}
+	}
+	h.Word(p.history)
+}

@@ -1,0 +1,60 @@
+package branch
+
+import (
+	"testing"
+
+	"itpsim/internal/arch"
+)
+
+func perceptronHash(p *Perceptron) uint64 {
+	h := arch.NewStateHash()
+	p.HashState(&h)
+	return h.Sum()
+}
+
+func trainedPerceptron() *Perceptron {
+	p := NewPerceptron()
+	for i := 0; i < 64; i++ {
+		pc := arch.Addr(0x400000 + uint64(i%8)*4)
+		p.Update(pc, i%3 != 0)
+	}
+	return p
+}
+
+func TestPerceptronHashStateDeterministic(t *testing.T) {
+	a, b := trainedPerceptron(), trainedPerceptron()
+	if perceptronHash(a) != perceptronHash(b) {
+		t.Fatal("identically trained predictors must hash equal")
+	}
+	if perceptronHash(a) != perceptronHash(a) {
+		t.Fatal("hashing must not mutate state")
+	}
+}
+
+func TestPerceptronHashStateSeesUpdate(t *testing.T) {
+	a, b := trainedPerceptron(), trainedPerceptron()
+	a.Update(0x400020, true)
+	if perceptronHash(a) == perceptronHash(b) {
+		t.Fatal("a training update must change the hash")
+	}
+}
+
+func TestPerceptronHashStateSeesHistoryOnly(t *testing.T) {
+	// The global history register feeds the table indices, so two
+	// predictors with equal weights but different history diverge on the
+	// next update — the hash must distinguish them.
+	a, b := trainedPerceptron(), trainedPerceptron()
+	a.history ^= 1
+	if perceptronHash(a) == perceptronHash(b) {
+		t.Fatal("a history-register difference must change the hash")
+	}
+}
+
+func TestPerceptronPredictUnchangedByHashing(t *testing.T) {
+	p := trainedPerceptron()
+	before := p.Predict(0x400004)
+	perceptronHash(p)
+	if p.Predict(0x400004) != before {
+		t.Fatal("hashing perturbed the prediction")
+	}
+}

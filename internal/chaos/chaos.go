@@ -1,0 +1,108 @@
+// Package chaos is the seeded fault-injection engine behind the
+// robustness battery: deterministic wrappers that make I/O fail in the
+// ways a paper-scale campaign actually sees — transient and permanent
+// trace-read errors, torn JSONL writes, corrupted checkpoint journals,
+// and slow metrics consumers. Every fault site is derived from a seeded
+// xorshift stream, so a failing chaos run replays bit-for-bit from its
+// seed, and every injected failure is a structured *chaos.Error the
+// supervising layer can classify (rather than a bare io error that could
+// be mistaken for a real one).
+//
+// The package sits inside itpvet's deterministic core: no wall-clock
+// reads, no global math/rand. Anything time-shaped (a slow-consumer
+// delay, a stall release) is delegated to a caller-provided func so the
+// nondeterminism stays at the test boundary.
+package chaos
+
+import "fmt"
+
+// Kind classifies an injected fault.
+type Kind int
+
+// The fault taxonomy: each kind corresponds to one battery scenario and
+// one real-world failure mode of a long campaign.
+const (
+	// ReadFault is an injected trace/ingestion read error (transient when
+	// only some attempts are wrapped, permanent when all are).
+	ReadFault Kind = iota
+	// TornWrite is a write cut short mid-record (power loss, full disk),
+	// leaving a valid prefix and a torn tail.
+	TornWrite
+	// Corruption is in-place damage to a file already on disk (bit rot,
+	// partial overwrite) — the checkpoint-journal scenario.
+	Corruption
+	// SlowConsumer is a sink that keeps accepting writes but far slower
+	// than the producer emits them.
+	SlowConsumer
+	// Stall is an ingestion source that stops producing without erroring
+	// (the watchdog's prey).
+	Stall
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case ReadFault:
+		return "read-fault"
+	case TornWrite:
+		return "torn-write"
+	case Corruption:
+		return "corruption"
+	case SlowConsumer:
+		return "slow-consumer"
+	case Stall:
+		return "stall"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Error is a structured injected fault. Injection sites return it (or
+// wrap it), so recovery paths can assert "this failure was mine" with
+// errors.As instead of string matching.
+type Error struct {
+	// Kind is the fault class.
+	Kind Kind
+	// Op is the operation that was failed ("read", "write", ...).
+	Op string
+	// Off is the byte offset (or operation count) the fault fired at.
+	Off int64
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("chaos: injected %s during %s at offset %d", e.Kind, e.Op, e.Off)
+}
+
+// RNG is the engine's deterministic xorshift64 stream. The zero seed is
+// remapped (xorshift has a zero fixed point), so any uint64 is a valid
+// seed and equal seeds replay equal fault schedules.
+type RNG struct{ s uint64 }
+
+// NewRNG seeds a stream.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{s: seed}
+}
+
+// Next returns the next raw 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// Intn returns a value in [0, n); n must be positive.
+func (r *RNG) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("chaos: Intn needs a positive bound")
+	}
+	return int64(r.Next() % uint64(n))
+}
+
+// Between returns a value in [lo, hi); hi must exceed lo.
+func (r *RNG) Between(lo, hi int64) int64 {
+	return lo + r.Intn(hi-lo)
+}

@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("seed 99 diverged at draw %d", i)
+		}
+	}
+	c := NewRNG(100)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if NewRNG(99).Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGZeroSeedStillWorks(t *testing.T) {
+	r := NewRNG(0)
+	if r.Next() == 0 && r.Next() == 0 {
+		t.Error("zero seed must be remapped, not stuck at zero")
+	}
+}
+
+func TestRNGBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		if v := r.Between(5, 8); v < 5 || v >= 8 {
+			t.Fatalf("Between(5,8) = %d", v)
+		}
+	}
+}
+
+func TestErrorText(t *testing.T) {
+	e := &Error{Kind: TornWrite, Op: "metrics-jsonl", Off: 512}
+	for _, frag := range []string{"chaos:", "torn-write", "metrics-jsonl", "512"} {
+		if !strings.Contains(e.Error(), frag) {
+			t.Errorf("error text missing %q: %s", frag, e.Error())
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{ReadFault, TornWrite, Corruption, SlowConsumer, Stall}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.Contains(s, "kind(") {
+			t.Errorf("Kind %d has no name: %q", k, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestFailAfterDeliversPrefixThenFails(t *testing.T) {
+	src := bytes.Repeat([]byte("x"), 100)
+	r := FailAfter(bytes.NewReader(src), 40)
+	got, err := io.ReadAll(r)
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Kind != ReadFault {
+		t.Fatalf("want *Error{ReadFault}, got %v", err)
+	}
+	if len(got) != 40 {
+		t.Errorf("reader delivered %d bytes before the fault, want 40", len(got))
+	}
+	if ce.Off != 40 {
+		t.Errorf("fault offset %d, want 40", ce.Off)
+	}
+	// The fault is permanent for this reader instance.
+	if _, err := r.Read(make([]byte, 1)); !errors.As(err, &ce) {
+		t.Errorf("subsequent read should keep failing, got %v", err)
+	}
+}
+
+func TestFailAfterBeyondStreamIsHarmless(t *testing.T) {
+	r := FailAfter(bytes.NewReader([]byte("short")), 1000)
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "short" {
+		t.Errorf("fault beyond EOF must not trigger: %q, %v", got, err)
+	}
+}
+
+func TestTornAfterCommitsPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	w := TornAfter(&buf, 5)
+	n, err := w.Write([]byte("0123456789"))
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Kind != TornWrite {
+		t.Fatalf("want *Error{TornWrite}, got %v", err)
+	}
+	if n != 5 || buf.String() != "01234" {
+		t.Errorf("torn write committed %d bytes (%q), want the 5-byte prefix", n, buf.String())
+	}
+	// Persistent: later writes fail without committing anything.
+	if n, err := w.Write([]byte("zz")); n != 0 || !errors.As(err, &ce) {
+		t.Errorf("write after tear = (%d, %v), want (0, *Error)", n, err)
+	}
+	if buf.String() != "01234" {
+		t.Errorf("write after tear leaked bytes: %q", buf.String())
+	}
+}
+
+func TestSlowDelaysEachWrite(t *testing.T) {
+	var buf bytes.Buffer
+	delays := 0
+	w := Slow(&buf, func() { delays++ })
+	for i := 0; i < 3; i++ {
+		if _, err := w.Write([]byte("ab")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if delays != 3 {
+		t.Errorf("delay hook ran %d times, want once per write", delays)
+	}
+	if buf.String() != "ababab" {
+		t.Errorf("slow writer must pass bytes through intact: %q", buf.String())
+	}
+}
+
+func TestFlipBitChangesExactlyOneBit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "victim")
+	orig := []byte("the quick brown fox")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	off, err := FlipBit(path, NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadFile(path)
+	diff := 0
+	for i := range orig {
+		if x := orig[i] ^ after[i]; x != 0 {
+			if int64(i) != off {
+				t.Errorf("damage at %d but reported offset %d", i, off)
+			}
+			for ; x != 0; x &= x - 1 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bits flipped, want exactly 1", diff)
+	}
+}
+
+func TestFlipBitAfterRespectsFloor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "victim")
+	orig := bytes.Repeat([]byte("h"), 64)
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(5)
+	for i := 0; i < 20; i++ {
+		off, err := FlipBitAfter(path, rng, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off < 32 || off >= 64 {
+			t.Fatalf("offset %d outside [32, 64)", off)
+		}
+	}
+	if _, err := FlipBitAfter(path, rng, 64); err == nil {
+		t.Error("floor at EOF must refuse, not corrupt nothing")
+	}
+}
+
+func TestTruncateTearsTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "victim")
+	if err := os.WriteFile(path, bytes.Repeat([]byte("t"), 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Truncate(path, NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	if fi.Size() != n || n <= 0 || n >= 100 {
+		t.Errorf("truncated to %d (reported %d), want a strict prefix", fi.Size(), n)
+	}
+}

@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+)
+
+// FlipBit damages a file in place: one seeded bit of one seeded byte is
+// inverted (deliberately non-atomic — this is the fault, not the fix).
+// It returns the offset it hit so a test can report what it broke. The
+// checkpoint-recovery scenario uses it to prove a corrupted journal
+// record is detected by its CRC and dropped rather than trusted.
+func FlipBit(path string, rng *RNG) (off int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) == 0 {
+		return 0, fmt.Errorf("chaos: %s is empty, nothing to corrupt", path)
+	}
+	off = rng.Intn(int64(len(data)))
+	data[off] ^= 1 << uint(rng.Intn(8))
+	return off, os.WriteFile(path, data, 0o644)
+}
+
+// FlipBitAfter is FlipBit constrained to offsets at or past min — e.g.
+// past a journal's header line so the damage lands in a record.
+func FlipBitAfter(path string, rng *RNG, min int64) (off int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if min >= int64(len(data)) {
+		return 0, fmt.Errorf("chaos: %s has %d bytes, cannot corrupt past %d", path, len(data), min)
+	}
+	off = rng.Between(min, int64(len(data)))
+	data[off] ^= 1 << uint(rng.Intn(8))
+	return off, os.WriteFile(path, data, 0o644)
+}
+
+// Truncate tears the tail off a file at a seeded offset in (0, len),
+// modeling a crash mid-append. It returns the new length.
+func Truncate(path string, rng *RNG) (newLen int64, err error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if fi.Size() < 2 {
+		return 0, fmt.Errorf("chaos: %s has %d bytes, nothing to truncate", path, fi.Size())
+	}
+	newLen = 1 + rng.Intn(fi.Size()-1)
+	return newLen, os.Truncate(path, newLen)
+}

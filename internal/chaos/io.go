@@ -1,0 +1,100 @@
+package chaos
+
+import "io"
+
+// failingReader passes bytes through until a chosen offset, then fails
+// every subsequent Read with a structured injected error. Wrapped under
+// trace.NewReader it models a trace source dying mid-campaign: the
+// decoder surfaces the error through its Err() and the simulation ends
+// with a stream error instead of a silently truncated run.
+type failingReader struct {
+	r     io.Reader
+	left  int64
+	fault *Error
+}
+
+// FailAfter wraps r to deliver about `after` bytes and then fail
+// permanently for this reader instance. Transient-vs-permanent is the
+// caller's composition: wrap only the first attempt's reader and the
+// harness retry recovers; wrap every attempt's and the failure is
+// terminal.
+func FailAfter(r io.Reader, after int64) io.Reader {
+	return &failingReader{r: r, left: after, fault: &Error{Kind: ReadFault, Op: "read", Off: after}}
+}
+
+// Read implements io.Reader.
+func (f *failingReader) Read(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, f.fault
+	}
+	if int64(len(p)) > f.left {
+		p = p[:f.left]
+	}
+	n, err := f.r.Read(p)
+	f.left -= int64(n)
+	if err == nil && f.left <= 0 {
+		// Deliver the final bytes with their error, as a real short read
+		// would — the decoder must handle data+error in one call.
+		err = f.fault
+	}
+	return n, err
+}
+
+// tornWriter passes writes through until a chosen byte budget, then
+// commits only a prefix of the offending write and fails that call and
+// every later one — the shape a power loss or full disk leaves behind: a
+// valid prefix, a torn record, nothing after.
+type tornWriter struct {
+	w       io.Writer
+	left    int64
+	written int64
+	fault   *Error
+}
+
+// TornAfter wraps w to tear the write that crosses the `after` byte
+// budget.
+func TornAfter(w io.Writer, after int64) io.Writer {
+	return &tornWriter{w: w, left: after}
+}
+
+// Write implements io.Writer.
+func (t *tornWriter) Write(p []byte) (int, error) {
+	if t.fault != nil {
+		return 0, t.fault
+	}
+	if int64(len(p)) <= t.left {
+		n, err := t.w.Write(p)
+		t.left -= int64(n)
+		t.written += int64(n)
+		return n, err
+	}
+	part := p[:t.left]
+	n, err := t.w.Write(part)
+	t.written += int64(n)
+	t.left = 0
+	t.fault = &Error{Kind: TornWrite, Op: "write", Off: t.written}
+	if err != nil {
+		return n, err
+	}
+	return n, t.fault
+}
+
+// slowWriter invokes a caller-provided delay before every write — the
+// slow-consumer fault (an NFS-mounted results file, a throttled pipe)
+// that turns a metrics sink into backpressure on whoever calls it. The
+// delay is a func so this package never touches the wall clock.
+type slowWriter struct {
+	w     io.Writer
+	delay func()
+}
+
+// Slow wraps w so every Write first runs delay.
+func Slow(w io.Writer, delay func()) io.Writer {
+	return &slowWriter{w: w, delay: delay}
+}
+
+// Write implements io.Writer.
+func (s *slowWriter) Write(p []byte) (int, error) {
+	s.delay()
+	return s.w.Write(p)
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"itpsim/internal/arch"
+	"itpsim/internal/audit"
+)
+
+// HashState implements arch.StateHasher: the adaptive controller's
+// window-local counters and status bit, plus its window tallies — the
+// complete state behind every future enable/disable decision.
+func (c *Controller) HashState(h *arch.StateHash) {
+	h.Word(uint64(c.instrCount))
+	h.Word(uint64(c.missCount))
+	h.Bool(c.useXPTP)
+	h.Word(c.EnabledWindows)
+	h.Word(c.DisabledWindows)
+}
+
+// AuditState implements audit.Checkable. Invariants:
+//
+//   - window-counter: the intra-window retired count stays below the
+//     window size (OnRetire closes windows as they complete, so a count
+//     at or past the boundary means a close was lost);
+//   - miss-counter: the window-local STLB-miss count is never negative
+//     garbage from a wrapped decrement.
+func (c *Controller) AuditState(r *audit.Report) {
+	if c.instrCount >= c.windowInstr {
+		r.Violatef("window-counter", "intra-window retired count %d at or past window size %d (lost close)",
+			c.instrCount, c.windowInstr)
+	}
+	if c.missCount < 0 {
+		r.Violatef("miss-counter", "window STLB-miss count went negative: %d", c.missCount)
+	}
+}

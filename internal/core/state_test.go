@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/audit"
+	"itpsim/internal/config"
+)
+
+func ctrlHash(c *Controller) uint64 {
+	h := arch.NewStateHash()
+	c.HashState(&h)
+	return h.Sum()
+}
+
+func auditCtrl(t *testing.T, c *Controller) []audit.Violation {
+	t.Helper()
+	a := &audit.Auditor{}
+	a.Register("xptp", c)
+	err := a.Run(0, 1000)
+	if err == nil {
+		return nil
+	}
+	var ae *audit.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("audit returned %T: %v", err, err)
+	}
+	return ae.Violations
+}
+
+func TestControllerHashStateDeterministic(t *testing.T) {
+	p := config.Default().XPTP
+	a, b := NewController(p), NewController(p)
+	if ctrlHash(a) != ctrlHash(b) {
+		t.Fatal("fresh controllers must hash equal")
+	}
+	a.OnRetire(100)
+	if ctrlHash(a) == ctrlHash(b) {
+		t.Fatal("retired instructions must change the hash")
+	}
+	b.OnRetire(100)
+	if ctrlHash(a) != ctrlHash(b) {
+		t.Fatal("controllers with identical history must hash equal")
+	}
+	a.OnSTLBMiss()
+	if ctrlHash(a) == ctrlHash(b) {
+		t.Fatal("an STLB miss must change the hash")
+	}
+}
+
+func TestControllerHashStateSeesWindowDecision(t *testing.T) {
+	p := config.Default().XPTP
+	a, b := NewController(p), NewController(p)
+	// Closing a full window with zero misses flips useXPTP off and bumps
+	// the DisabledWindows tally.
+	a.OnRetire(arch.Instr(p.WindowInstr))
+	if a.Enabled() {
+		t.Fatal("a miss-free window must disable xPTP")
+	}
+	if ctrlHash(a) == ctrlHash(b) {
+		t.Fatal("a window decision must change the hash")
+	}
+}
+
+func TestControllerAuditCleanDuringWindow(t *testing.T) {
+	c := NewController(config.Default().XPTP)
+	c.OnRetire(500)
+	c.OnSTLBMiss()
+	if v := auditCtrl(t, c); v != nil {
+		t.Fatalf("healthy controller reported violations: %v", v)
+	}
+}
+
+func TestControllerAuditDetectsLostWindowClose(t *testing.T) {
+	c := NewController(config.Default().XPTP)
+	c.instrCount = c.windowInstr
+	found := false
+	for _, v := range auditCtrl(t, c) {
+		if v.Rule == "window-counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("retired count at window size must be reported as a lost close")
+	}
+}
+
+func TestControllerAuditDetectsNegativeMissCount(t *testing.T) {
+	c := NewController(config.Default().XPTP)
+	c.missCount = -1
+	found := false
+	for _, v := range auditCtrl(t, c) {
+		if v.Rule == "miss-counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("negative miss count must be reported")
+	}
+}

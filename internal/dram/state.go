@@ -1,0 +1,15 @@
+package dram
+
+import "itpsim/internal/arch"
+
+// HashState implements arch.StateHasher: channel timing and the open-row
+// buffer, the only DRAM state that feeds back into access latency.
+func (d *DRAM) HashState(h *arch.StateHash) {
+	h.Word(d.channelFree)
+	h.Word(uint64(d.nextRowSlot))
+	for _, row := range d.openRows {
+		h.Word(row)
+	}
+	h.Word(d.Accesses)
+	h.Word(d.RowHits)
+}

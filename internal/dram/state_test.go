@@ -1,0 +1,62 @@
+package dram
+
+import (
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/config"
+)
+
+func dramHash(d *DRAM) uint64 {
+	h := arch.NewStateHash()
+	d.HashState(&h)
+	return h.Sum()
+}
+
+func trafficDRAM() *DRAM {
+	d := New(config.Default().DRAM)
+	for i := 0; i < 8; i++ {
+		d.Access(uint64(i)*100, &arch.Access{Addr: arch.Addr(uint64(i) << 14), Kind: arch.Load})
+	}
+	return d
+}
+
+func TestDRAMHashStateDeterministic(t *testing.T) {
+	a, b := trafficDRAM(), trafficDRAM()
+	if dramHash(a) != dramHash(b) {
+		t.Fatal("identical DRAM models must hash equal")
+	}
+	if dramHash(a) != dramHash(a) {
+		t.Fatal("hashing must not mutate state")
+	}
+}
+
+func TestDRAMHashStateSeesAccess(t *testing.T) {
+	a, b := trafficDRAM(), trafficDRAM()
+	a.Access(5_000, &arch.Access{Addr: 0x123400, Kind: arch.Load})
+	if dramHash(a) == dramHash(b) {
+		t.Fatal("an extra access must change the hash")
+	}
+}
+
+func TestDRAMHashStateSeesRowBuffer(t *testing.T) {
+	a, b := trafficDRAM(), trafficDRAM()
+	// A row hit leaves the open-row set unchanged but bumps the RowHits
+	// tally and channel timing — the hash must still move.
+	last := arch.Addr(7 << 14)
+	a.Access(5_000, &arch.Access{Addr: last, Kind: arch.Load})
+	if a.RowHits == 0 {
+		t.Fatal("expected a row hit on the re-touched row")
+	}
+	if dramHash(a) == dramHash(b) {
+		t.Fatal("a row hit must change the hash")
+	}
+}
+
+func TestDRAMHashStateSeesWriteback(t *testing.T) {
+	a, b := trafficDRAM(), trafficDRAM()
+	a.Writeback(9_000, 0x777000)
+	if dramHash(a) == dramHash(b) {
+		t.Fatal("a writeback must change the hash")
+	}
+}

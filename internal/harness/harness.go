@@ -27,6 +27,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"itpsim/internal/audit"
 )
 
 // Progress is implemented by job payloads whose forward progress the
@@ -41,6 +43,21 @@ type Interrupter interface{ Interrupt() }
 // Snapshotter provides a diagnostic dump for stall/deadline reports
 // (sim.Machine publishes occupancy state race-safely for this).
 type Snapshotter interface{ Snapshot() string }
+
+// Beaconer is implemented by payloads that emit deterministic state
+// beacons (sim.Machine with beacons enabled): the chain folds every
+// beacon so far, so equal (chain, count) proves two runs passed through
+// identical architectural states at every beacon boundary.
+type Beaconer interface{ BeaconChain() (chain, count uint64) }
+
+// BeaconStamp is a completed job's final beacon fingerprint, journaled
+// with its result so a resumed campaign can verify that a re-run — or a
+// recalled cached result — corresponds to the same deterministic
+// execution.
+type BeaconStamp struct {
+	Chain uint64 `json:"chain"`
+	Count uint64 `json:"count"`
+}
 
 // Options configure a supervised batch.
 type Options struct {
@@ -69,6 +86,11 @@ type Options struct {
 	KillGrace time.Duration
 	// Checkpoint is the JSON-lines journal path ("" = no checkpointing).
 	Checkpoint string
+	// Seed seeds the retry-backoff jitter so a campaign's retry schedule
+	// is reproducible: each job derives its own stream from Seed and its
+	// key. Zero still jitters (from the key alone) — determinism comes
+	// from the derivation, not from disabling it.
+	Seed uint64
 	// Logf receives supervision events (retries, kills, resumes); nil
 	// discards them.
 	Logf func(format string, args ...any)
@@ -153,22 +175,59 @@ func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
 
 // retryable reports whether the supervisor should re-attempt after err.
-// Panics, stalls, and deadline kills are deterministic for a seeded
-// simulator, so only plain (presumed transient) errors are retried.
+// Panics, stalls, deadline kills, and invariant-audit violations are
+// deterministic for a seeded simulator — a retry would fail (or corrupt)
+// identically — so only plain (presumed transient) errors are retried.
 func retryable(err error) bool {
 	var pe *permanentError
 	var panicErr *PanicError
 	var stallErr *StallError
 	var timeoutErr *TimeoutError
+	var auditErr *audit.Error
 	switch {
 	case errors.As(err, &pe),
 		errors.As(err, &panicErr),
 		errors.As(err, &stallErr),
 		errors.As(err, &timeoutErr),
+		errors.As(err, &auditErr),
 		errors.Is(err, context.Canceled):
 		return false
 	}
 	return true
+}
+
+// jitterRNG is a per-job xorshift stream for backoff jitter, derived
+// deterministically from the campaign seed and the job key (FNV-1a).
+type jitterRNG struct{ s uint64 }
+
+func newJitterRNG(seed uint64, key string) *jitterRNG {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	s := seed ^ h
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return &jitterRNG{s: s}
+}
+
+func (r *jitterRNG) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// jitter spreads a backoff over [d/2, d] so retries from a fleet of jobs
+// that failed together do not slam their shared resource in lockstep.
+func (r *jitterRNG) jitter(d time.Duration) time.Duration {
+	if d <= time.Duration(1) {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(r.next()%uint64(half+1))
 }
 
 // Job is one supervised unit of work. Key must be stable across processes
@@ -187,6 +246,10 @@ type Outcome[R any] struct {
 	// Cached marks results recalled from the checkpoint journal rather
 	// than recomputed.
 	Cached bool
+	// Beacon is the job's final deterministic-state fingerprint, when its
+	// attached target was a Beaconer with beacons enabled — recalled from
+	// the journal for cached results, sampled at completion otherwise.
+	Beacon *BeaconStamp
 }
 
 // JobContext is handed to each job attempt: it carries the cancellation
@@ -238,6 +301,19 @@ func (jc *JobContext) snapshot() string {
 	return "(target offers no snapshot)"
 }
 
+// beacon samples the target's final beacon stamp, if it emits beacons.
+func (jc *JobContext) beacon() *BeaconStamp {
+	jc.mu.Lock()
+	t := jc.target
+	jc.mu.Unlock()
+	if b, isB := t.(Beaconer); isB {
+		if chain, count := b.BeaconChain(); count > 0 {
+			return &BeaconStamp{Chain: chain, Count: count}
+		}
+	}
+	return nil
+}
+
 // interruptTarget asks the target to stop cooperatively.
 func (jc *JobContext) interruptTarget() {
 	jc.mu.Lock()
@@ -250,11 +326,12 @@ func (jc *JobContext) interruptTarget() {
 
 type attemptResult[R any] struct {
 	r   R
+	b   *BeaconStamp
 	err error
 }
 
 // runAttempt executes one attempt of job under full supervision.
-func runAttempt[R any](o Options, job Job[R], attempt int) (R, error) {
+func runAttempt[R any](o Options, job Job[R], attempt int) (R, *BeaconStamp, error) {
 	ctx := context.Background()
 	cancel := func() {}
 	if o.JobTimeout > 0 {
@@ -270,25 +347,27 @@ func runAttempt[R any](o Options, job Job[R], attempt int) (R, error) {
 		defer func() {
 			if v := recover(); v != nil {
 				var zero R
-				resCh <- attemptResult[R]{zero, &PanicError{Value: v, Stack: debug.Stack()}}
+				resCh <- attemptResult[R]{zero, nil, &PanicError{Value: v, Stack: debug.Stack()}}
 			}
 		}()
 		r, err := job.Run(jc)
-		resCh <- attemptResult[R]{r, err}
+		// The beacon stamp is sampled on the job goroutine, after the run
+		// returned, so it reflects the target's final quiescent state.
+		resCh <- attemptResult[R]{r, jc.beacon(), err}
 	}()
 
 	// kill interrupts the job and gives it KillGrace to come back before
 	// the goroutine is abandoned; kerr is authoritative either way.
-	kill := func(kerr error) (R, error) {
+	kill := func(kerr error) (R, *BeaconStamp, error) {
 		jc.interruptTarget()
 		cancel()
 		select {
 		case res := <-resCh:
-			return res.r, kerr
+			return res.r, res.b, kerr
 		case <-time.After(o.KillGrace):
 			o.logf("harness: job %s: abandoning unresponsive goroutine after %v grace", job.Key, o.KillGrace)
 			var zero R
-			return zero, kerr
+			return zero, nil, kerr
 		}
 	}
 
@@ -304,7 +383,7 @@ func runAttempt[R any](o Options, job Job[R], attempt int) (R, error) {
 	for {
 		select {
 		case res := <-resCh:
-			return res.r, res.err
+			return res.r, res.b, res.err
 		case <-ctx.Done():
 			if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
 				o.logf("harness: job %s: deadline %v exceeded, killing", job.Key, o.JobTimeout)
@@ -335,24 +414,28 @@ func runAttempt[R any](o Options, job Job[R], attempt int) (R, error) {
 	}
 }
 
-// supervise runs one job to completion, applying the retry policy.
-func supervise[R any](o Options, job Job[R]) (R, error, int) {
+// supervise runs one job to completion, applying the retry policy with
+// deterministic, seeded backoff jitter.
+func supervise[R any](o Options, job Job[R]) (R, *BeaconStamp, error, int) {
 	var (
 		r   R
+		b   *BeaconStamp
 		err error
 	)
+	jr := newJitterRNG(o.Seed, job.Key)
 	for attempt := 0; ; attempt++ {
-		r, err = runAttempt(o, job, attempt)
+		r, b, err = runAttempt(o, job, attempt)
 		if err == nil {
-			return r, nil, attempt + 1
+			return r, b, nil, attempt + 1
 		}
 		if attempt >= o.Retries || !retryable(err) {
-			return r, err, attempt + 1
+			return r, b, err, attempt + 1
 		}
 		backoff := o.Backoff << attempt
 		if backoff > o.MaxBackoff || backoff <= 0 {
 			backoff = o.MaxBackoff
 		}
+		backoff = jr.jitter(backoff)
 		o.logf("harness: job %s: attempt %d failed (%v), retrying in %v", job.Key, attempt+1, err, backoff)
 		time.Sleep(backoff)
 	}
@@ -391,19 +474,19 @@ func RunAll[R any](o Options, jobs []Job[R]) ([]Outcome[R], error) {
 			outs[i].Key = job.Key
 			if ckpt != nil {
 				var r R
-				if ok, err := ckpt.lookup(job.Key, &r); err != nil {
+				if beacon, ok, err := ckpt.lookup(job.Key, &r); err != nil {
 					o.logf("harness: job %s: ignoring corrupt checkpoint entry: %v", job.Key, err)
 				} else if ok {
-					outs[i].Result, outs[i].Cached = r, true
+					outs[i].Result, outs[i].Cached, outs[i].Beacon = r, true, beacon
 					return
 				}
 			}
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			r, err, attempts := supervise(o, job)
-			outs[i].Result, outs[i].Err, outs[i].Attempts = r, err, attempts
+			r, b, err, attempts := supervise(o, job)
+			outs[i].Result, outs[i].Err, outs[i].Attempts, outs[i].Beacon = r, err, attempts, b
 			if err == nil && ckpt != nil {
-				if cerr := ckpt.record(job.Key, r); cerr != nil {
+				if cerr := ckpt.record(job.Key, r, b); cerr != nil {
 					o.logf("harness: job %s: checkpoint write failed: %v", job.Key, cerr)
 				}
 			}

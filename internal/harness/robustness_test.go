@@ -1,0 +1,226 @@
+package harness_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"itpsim/internal/audit"
+	"itpsim/internal/config"
+	"itpsim/internal/harness"
+	"itpsim/internal/sim"
+	"itpsim/internal/stats"
+	"itpsim/internal/workload"
+)
+
+// beaconJob is machineJob with state beacons enabled, so the harness
+// stamps the outcome and journals the stamp alongside the result.
+func beaconJob(t *testing.T, key string, budget uint64) harness.Job[*stats.Sim] {
+	t.Helper()
+	return harness.Job[*stats.Sim]{
+		Key: key,
+		Run: func(jc *harness.JobContext) (*stats.Sim, error) {
+			m, err := sim.NewMachine(config.Default())
+			if err != nil {
+				return nil, harness.Permanent(err)
+			}
+			m.EnableBeacons(10_000)
+			jc.Attach(m)
+			res, err := m.Run([]workload.Stream{specStream()}, budget)
+			if err != nil {
+				return nil, err
+			}
+			return res.Stats, nil
+		},
+	}
+}
+
+// TestOutcomeBeaconFreshVsResumed proves the beacon stamp travels the
+// whole robustness loop: a fresh run stamps the outcome, the checkpoint
+// journals it, a resumed campaign recalls the identical stamp without
+// re-running, and a from-scratch re-run reproduces it bit for bit.
+func TestOutcomeBeaconFreshVsResumed(t *testing.T) {
+	dir := t.TempDir()
+	o := fastOpts()
+	o.Checkpoint = filepath.Join(dir, "run.ckpt")
+	jobs := []harness.Job[*stats.Sim]{beaconJob(t, "beacon-a", 50_000)}
+
+	outs, err := harness.RunAll(o, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := outs[0].Beacon
+	if fresh == nil {
+		t.Fatal("fresh run must carry a beacon stamp")
+	}
+	if fresh.Count != 5 {
+		t.Errorf("50k instructions at interval 10k should emit 5 beacons, got %d", fresh.Count)
+	}
+
+	outs, err = harness.RunAll(o, []harness.Job[*stats.Sim]{beaconJob(t, "beacon-a", 50_000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outs[0].Cached {
+		t.Fatal("second campaign should resume from the checkpoint")
+	}
+	if outs[0].Beacon == nil || *outs[0].Beacon != *fresh {
+		t.Errorf("resumed stamp %+v, want journaled %+v", outs[0].Beacon, fresh)
+	}
+
+	if err := os.Remove(o.Checkpoint); err != nil {
+		t.Fatal(err)
+	}
+	outs, err = harness.RunAll(o, []harness.Job[*stats.Sim]{beaconJob(t, "beacon-a", 50_000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Cached {
+		t.Fatal("checkpoint removed; run must be fresh")
+	}
+	if outs[0].Beacon == nil || *outs[0].Beacon != *fresh {
+		t.Errorf("re-run stamp %+v diverged from original %+v", outs[0].Beacon, fresh)
+	}
+}
+
+// retrySchedule runs a key that fails n times and returns the logged
+// "retrying in <d>" backoff values.
+func retrySchedule(t *testing.T, seed uint64, key string, fails int) []string {
+	t.Helper()
+	o := fastOpts()
+	o.Retries = fails
+	o.Seed = seed
+	var mu sync.Mutex
+	var delays []string
+	o.Logf = func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		msg := strings.TrimSpace(format)
+		if strings.Contains(msg, "retrying in") {
+			delays = append(delays, strings.TrimSpace(args[len(args)-1].(time.Duration).String()))
+		}
+	}
+	var n atomic.Int32
+	job := harness.Job[int]{Key: key, Run: func(*harness.JobContext) (int, error) {
+		if n.Add(1) <= int32(fails) {
+			return 0, errors.New("transient")
+		}
+		return 1, nil
+	}}
+	if _, err := harness.RunAll(o, []harness.Job[int]{job}); err != nil {
+		t.Fatal(err)
+	}
+	return delays
+}
+
+// TestJitterDeterministic proves the backoff schedule is a pure function
+// of (seed, job key): same inputs replay identically, different seeds
+// decorrelate, and every delay stays within [base/2, base].
+func TestJitterDeterministic(t *testing.T) {
+	a := retrySchedule(t, 42, "jitter-job", 4)
+	b := retrySchedule(t, 42, "jitter-job", 4)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("want 4 retries logged, got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("retry %d: seed 42 gave %s then %s; schedule must replay", i, a[i], b[i])
+		}
+	}
+	c := retrySchedule(t, 43, "jitter-job", 4)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced an identical 4-delay schedule; jitter is not seeded")
+	}
+	for i, s := range a {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("unparseable delay %q: %v", s, err)
+		}
+		// fastOpts: base 1ms doubling, capped at 5ms; jitter keeps [base/2, base].
+		base := time.Millisecond << uint(i)
+		if base > 5*time.Millisecond {
+			base = 5 * time.Millisecond
+		}
+		if d < base/2 || d > base {
+			t.Errorf("retry %d delay %v outside jitter range [%v, %v]", i, d, base/2, base)
+		}
+	}
+}
+
+// TestAuditErrorNotRetried: an invariant violation is evidence of a
+// corrupted simulation, not a flaky environment — retrying would just
+// re-corrupt, so the supervisor must classify it permanent.
+func TestAuditErrorNotRetried(t *testing.T) {
+	o := fastOpts()
+	o.Retries = 3
+	var n atomic.Int32
+	job := harness.Job[int]{Key: "corrupt", Run: func(*harness.JobContext) (int, error) {
+		n.Add(1)
+		return 0, &audit.Error{Retired: 9, Violations: []audit.Violation{
+			{Component: "dtlb", Rule: "stack-permutation", Detail: "set 3"},
+		}}
+	}}
+	_, err := harness.RunAll(o, []harness.Job[int]{job})
+	var ae *audit.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *audit.Error to surface, got: %v", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Errorf("audit failure ran %d attempts; invariant violations must not be retried", got)
+	}
+}
+
+// stalledTarget is a fake attachment whose progress counter never moves,
+// with a canned diagnostic dump carrying window history.
+type stalledTarget struct {
+	interrupted atomic.Bool
+}
+
+func (s *stalledTarget) Progress() uint64 { return 42 }
+func (s *stalledTarget) Interrupt()       { s.interrupted.Store(true) }
+func (s *stalledTarget) Snapshot() string {
+	return "fake-target retired=42 recent-windows=[w17 w18 w19] l2c-occ=17/32"
+}
+
+// TestWatchdogSnapshotPath pins the kill-path plumbing with a controlled
+// fake: the stall report must carry the target's snapshot (including its
+// window history), the sampled progress value, and the target must have
+// been asked to stop cooperatively before the context was cancelled.
+func TestWatchdogSnapshotPath(t *testing.T) {
+	o := fastOpts()
+	o.WatchdogInterval = 10 * time.Millisecond
+	o.WatchdogSamples = 3
+	fake := &stalledTarget{}
+	job := harness.Job[int]{Key: "frozen", Run: func(jc *harness.JobContext) (int, error) {
+		jc.Attach(fake)
+		<-jc.Context().Done()
+		return 0, jc.Context().Err()
+	}}
+	_, err := harness.RunAll(o, []harness.Job[int]{job})
+	var se *harness.StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("want StallError, got: %v", err)
+	}
+	if se.Progress != 42 {
+		t.Errorf("stall report progress = %d, want the sampled 42", se.Progress)
+	}
+	for _, frag := range []string{"recent-windows=[w17 w18 w19]", "l2c-occ=17/32"} {
+		if !strings.Contains(se.Snapshot, frag) {
+			t.Errorf("stall snapshot missing %q:\n%s", frag, se.Snapshot)
+		}
+	}
+	if !fake.interrupted.Load() {
+		t.Error("watchdog kill must interrupt the target cooperatively")
+	}
+}

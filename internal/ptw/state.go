@@ -1,0 +1,56 @@
+package ptw
+
+import (
+	"itpsim/internal/arch"
+	"itpsim/internal/audit"
+)
+
+// HashState implements arch.StateHasher: every page-structure-cache
+// entry in level/set/way order plus the per-walker busy clocks.
+func (w *Walker) HashState(h *arch.StateHash) {
+	for _, p := range w.pscs {
+		for si := range p.sets {
+			for e := range p.sets[si] {
+				entry := &p.sets[si][e]
+				h.Bool(entry.valid)
+				h.Word(entry.tag)
+				h.Word(uint64(entry.thread))
+				h.Word(uint64(entry.lru))
+			}
+		}
+	}
+	for _, busy := range w.walkers {
+		h.Word(busy)
+	}
+}
+
+// AuditState implements audit.Checkable. Invariants:
+//
+//   - psc-lru: each PSC set's lru fields stay within the associativity
+//     (they are recency ranks, not a strict permutation — invalid ways
+//     keep stale ranks — but a rank past the way count means the
+//     promotion arithmetic corrupted);
+//   - psc-duplicate: no two valid ways of a set hold the same
+//     (tag, thread).
+func (w *Walker) AuditState(r *audit.Report) {
+	for _, p := range w.pscs {
+		for si := range p.sets {
+			set := p.sets[si]
+			for a := range set {
+				if int(set[a].lru) >= len(set) {
+					r.Violatef("psc-lru", "PSCL%d set %d way %d: lru rank %d outside associativity %d",
+						p.level, si, a, set[a].lru, len(set))
+				}
+				if !set[a].valid {
+					continue
+				}
+				for b := a + 1; b < len(set); b++ {
+					if set[b].valid && set[a].tag == set[b].tag && set[a].thread == set[b].thread {
+						r.Violatef("psc-duplicate", "PSCL%d set %d: ways %d and %d both hold tag %#x",
+							p.level, si, a, b, set[a].tag)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package ptw
+
+import (
+	"errors"
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/audit"
+	"itpsim/internal/vm"
+)
+
+func walkerHash(w *Walker) uint64 {
+	h := arch.NewStateHash()
+	w.HashState(&h)
+	return h.Sum()
+}
+
+func auditWalker(t *testing.T, w *Walker) []audit.Violation {
+	t.Helper()
+	a := &audit.Auditor{}
+	a.Register("ptw", w)
+	err := a.Run(0, 1000)
+	if err == nil {
+		return nil
+	}
+	var ae *audit.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("audit returned %T: %v", err, err)
+	}
+	return ae.Violations
+}
+
+func walkedWalker() *Walker {
+	w, _, pt, _ := setup()
+	for i := 0; i < 6; i++ {
+		va := arch.Addr(0x7f0000000000 + uint64(i)<<arch.PageBits4K)
+		tr := pt.Translate(va)
+		w.Walk(uint64(i)*500, va, &tr, arch.DataClass, 0, 0)
+	}
+	return w
+}
+
+func TestWalkerHashStateDeterministic(t *testing.T) {
+	a, b := walkedWalker(), walkedWalker()
+	if walkerHash(a) != walkerHash(b) {
+		t.Fatal("identical walkers must hash equal")
+	}
+	if walkerHash(a) != walkerHash(a) {
+		t.Fatal("hashing must not mutate state")
+	}
+	// One more walk fills PSC entries and advances a walker clock.
+	_, _, pt, _ := setup()
+	va := arch.Addr(0x7f1234560000)
+	tr := pt.Translate(va)
+	a.Walk(10_000, va, &tr, arch.InstrClass, 0, 0)
+	if walkerHash(a) == walkerHash(b) {
+		t.Fatal("an extra walk must change the hash")
+	}
+}
+
+func TestWalkerAuditCleanAfterWalks(t *testing.T) {
+	w := walkedWalker()
+	if v := auditWalker(t, w); v != nil {
+		t.Fatalf("clean walker reported violations: %v", v)
+	}
+}
+
+func TestWalkerAuditDetectsLRUCorruption(t *testing.T) {
+	w := walkedWalker()
+	p := w.pscs[0]
+	ways := len(p.sets[0])
+	p.sets[0][0].lru = uint8(ways)
+	found := false
+	for _, v := range auditWalker(t, w) {
+		if v.Rule == "psc-lru" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("lru rank outside associativity must be reported")
+	}
+}
+
+func TestWalkerAuditDetectsDuplicateTag(t *testing.T) {
+	w := walkedWalker()
+	// Find a PSC with at least 2 ways and plant a duplicate.
+	for _, p := range w.pscs {
+		set := p.sets[0]
+		if len(set) < 2 {
+			continue
+		}
+		set[0].valid, set[1].valid = true, true
+		set[0].tag, set[1].tag = 0x1234, 0x1234
+		set[0].thread, set[1].thread = 0, 0
+		break
+	}
+	found := false
+	for _, v := range auditWalker(t, w) {
+		if v.Rule == "psc-duplicate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("duplicate (tag, thread) in one PSC set must be reported")
+	}
+}
+
+func TestWalkerHashCoversPSCRecency(t *testing.T) {
+	mk := func() (*Walker, *vm.PageTable) {
+		w, _, pt, _ := setup()
+		for i := 0; i < 4; i++ {
+			va := arch.Addr(0x7f0000000000 + uint64(i)<<arch.PageBits2M)
+			tr := pt.Translate(va)
+			w.Walk(uint64(i)*500, va, &tr, arch.DataClass, 0, 0)
+		}
+		return w, pt
+	}
+	a, pta := mk()
+	b, _ := mk()
+	// Re-walking the oldest VA only promotes PSC recency (all levels hit),
+	// which the hash must still observe.
+	va := arch.Addr(0x7f0000000000)
+	tr := pta.Translate(va)
+	a.Walk(5_000, va, &tr, arch.DataClass, 0, 0)
+	if walkerHash(a) == walkerHash(b) {
+		t.Fatal("a PSC recency promotion must change the hash")
+	}
+}

@@ -17,7 +17,7 @@ import (
 // loop actually touches per instruction. mutate (optional) edits the
 // default configuration before the machine is built, so each benchmark
 // variant exercises its own policy mix.
-func newSteadyMachine(b *testing.B, instrument bool, mutate func(*config.SystemConfig)) (*Machine, *threadCtx) {
+func newSteadyMachine(b *testing.B, instrument, beacons bool, mutate func(*config.SystemConfig)) (*Machine, *threadCtx) {
 	b.Helper()
 	cat := workload.NewCatalog(4, 2)
 	spec, err := cat.Get("srv_000")
@@ -35,6 +35,9 @@ func newSteadyMachine(b *testing.B, instrument bool, mutate func(*config.SystemC
 	if instrument {
 		w := m.InstrumentMetrics(metrics.NewRegistry(), 0)
 		w.SetRetain(64)
+	}
+	if beacons {
+		m.EnableBeacons(0)
 	}
 	t := newThreadCtx(0, spec.NewStream(), &m.cfg, 1, math.MaxUint64)
 	m.threads = []*threadCtx{t}
@@ -83,6 +86,13 @@ var (
 	hotpathCHiRP = []string{
 		"itpsim/internal/branch",
 	}
+	// hotpathBeacons covers the state-fingerprint fold: the FNV
+	// substrate in arch and the whole-hierarchy hashState walk in sim,
+	// which the beaconed gate drives at every window boundary.
+	hotpathBeacons = []string{
+		"itpsim/internal/arch",
+		"itpsim/internal/sim",
+	}
 
 	// hotpathGateManifest maps each alloc-gated benchmark to the
 	// packages whose //itp:hotpath functions it exercises.
@@ -93,6 +103,7 @@ var (
 		"BenchmarkSteadyStateStepMetrics": hotpathMetrics,
 		"BenchmarkSteadyStateStepITPXPTP": hotpathITPXPTP,
 		"BenchmarkSteadyStateStepCHiRP":   hotpathCHiRP,
+		"BenchmarkSteadyStateStepBeacons": hotpathBeacons,
 	}
 )
 
@@ -101,7 +112,7 @@ var (
 // walks, caches, retire) with zero heap allocations per op. benchguard's
 // -alloc-gate fails the build if allocs/op ever leaves 0.
 func BenchmarkSteadyStateStep(b *testing.B) {
-	m, t := newSteadyMachine(b, false, nil)
+	m, t := newSteadyMachine(b, false, false, nil)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -114,7 +125,7 @@ func BenchmarkSteadyStateStep(b *testing.B) {
 // It must also run allocation-free — window records and their counter
 // maps recycle in place.
 func BenchmarkSteadyStateStepMetrics(b *testing.B) {
-	m, t := newSteadyMachine(b, true, nil)
+	m, t := newSteadyMachine(b, true, false, nil)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -127,7 +138,7 @@ func BenchmarkSteadyStateStepMetrics(b *testing.B) {
 // judging every window) on the L2C, instrumented so the xptp.transitions
 // path is live too.
 func BenchmarkSteadyStateStepITPXPTP(b *testing.B) {
-	m, t := newSteadyMachine(b, true, func(cfg *config.SystemConfig) {
+	m, t := newSteadyMachine(b, true, false, func(cfg *config.SystemConfig) {
 		cfg.STLBPolicy = "itp"
 		cfg.L2CPolicy = "xptp"
 	})
@@ -141,8 +152,22 @@ func BenchmarkSteadyStateStepITPXPTP(b *testing.B) {
 // BenchmarkSteadyStateStepCHiRP gates the CHiRP STLB baseline together
 // with the real hashed-perceptron branch predictor, the configuration
 // that drives the control-flow-history and perceptron hot paths.
+// BenchmarkSteadyStateStepBeacons gates the robustness layer's steady
+// state: metrics windows closing and a full-hierarchy state fingerprint
+// folding into the beacon chain at every window boundary. The fixed ring
+// and in-place FNV fold must keep the loop at zero allocations per op
+// even with beacons armed.
+func BenchmarkSteadyStateStepBeacons(b *testing.B) {
+	m, t := newSteadyMachine(b, true, true, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.step(t)
+	}
+}
+
 func BenchmarkSteadyStateStepCHiRP(b *testing.B) {
-	m, t := newSteadyMachine(b, false, func(cfg *config.SystemConfig) {
+	m, t := newSteadyMachine(b, false, false, func(cfg *config.SystemConfig) {
 		cfg.STLBPolicy = "chirp"
 		cfg.BranchPredictor = "perceptron"
 	})

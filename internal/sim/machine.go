@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"itpsim/internal/arch"
+	"itpsim/internal/audit"
 	"itpsim/internal/branch"
 	"itpsim/internal/cache"
 	"itpsim/internal/config"
@@ -95,6 +96,20 @@ type Machine struct {
 	// passed through the cache.Level interface escapes to the heap on
 	// every instruction).
 	acc arch.Access
+
+	// beacons is the deterministic state-beacon log (nil = beacons off);
+	// owned by the run loop, see beacon.go.
+	beacons *beaconLog
+	// auditor runs the periodic structural invariant checks (nil = audits
+	// off). auditNext/auditEvery schedule passes on retire boundaries;
+	// auditErr latches the first violation verdict for RunWarmup to
+	// return; auditVerdict publishes the latest verdict for Snapshot
+	// readers on other goroutines.
+	auditor      *audit.Auditor
+	auditEvery   arch.Instr
+	auditNext    arch.Instr
+	auditErr     error
+	auditVerdict atomic.Pointer[string]
 }
 
 // BoundSplit reports the fraction of dispatches limited by the front end.
@@ -435,6 +450,7 @@ func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) (
 		return RunResult{}, fmt.Errorf("sim: Run needs 1 or 2 streams, got %d", len(streams))
 	}
 	m.interrupted.Store(false)
+	m.auditErr = nil
 	threads := make([]*threadCtx, len(streams))
 	// In SMT mode fetch alternates threads every cycle, halving each
 	// thread's effective fetch bandwidth.
@@ -524,7 +540,12 @@ func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) (
 	res := RunResult{Stats: m.Stats, IPC: m.Stats.IPC()}
 
 	var errs []error
-	if m.interrupted.Load() {
+	switch {
+	case m.auditErr != nil:
+		// An audit violation interrupted the run from inside; surface the
+		// structured verdict, not the generic interrupt.
+		errs = append(errs, m.auditErr)
+	case m.interrupted.Load():
 		errs = append(errs, ErrInterrupted)
 	}
 	for i, s := range streams {
@@ -598,6 +619,9 @@ func (m *Machine) Snapshot() string {
 	// sampler is internally synchronised, so this is race-free.)
 	if m.met != nil {
 		s += " recent-windows: " + m.met.windows.RecentString(5)
+	}
+	if p := m.auditVerdict.Load(); p != nil {
+		s += " " + *p
 	}
 	return s
 }

@@ -305,6 +305,17 @@ func (m *Machine) step(t *threadCtx) {
 		//itp:cold — window close runs once per thousand retires, not per instruction
 		m.closeMetricsWindow(arch.Instr(rtot))
 	}
+	// Beacon emission follows the window close so the fingerprint covers
+	// the state the window's decision left behind (aligned intervals see
+	// both fire at the same boundary).
+	if m.beacons != nil && arch.Instr(rtot) >= m.beacons.next {
+		//itp:cold — beacon emission runs once per interval, not per instruction
+		m.emitBeacon(arch.Instr(rtot))
+	}
+	if m.auditor != nil && arch.Instr(rtot) >= m.auditNext {
+		//itp:cold — structural audit runs once per interval, not per instruction
+		m.runAudit(arch.Instr(rtot))
+	}
 	if t.retired >= t.budget {
 		t.done = true
 	}
