@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint staticcheck govulncheck check cover-check fuzz-smoke chaos bench bench-figures bench-baseline bench-compare bench-check results quick-results clean
+.PHONY: all build test vet lint staticcheck govulncheck check cover-check fuzz-smoke chaos equiv bench bench-figures bench-baseline bench-compare bench-check results quick-results clean
 
 all: build vet lint test
 
@@ -54,11 +54,13 @@ check: lint staticcheck govulncheck
 cover-check:
 	sh scripts/check_coverage.sh
 
-# Short fuzz pass over the parsers that read untrusted bytes: the trace
-# decoder and the checkpoint-journal recovery path (CI smoke).
+# Short fuzz pass over the parsers that read untrusted bytes — the trace
+# decoder and the checkpoint-journal recovery path — plus the stream
+# split/clone equivalence property that sharding rests on (CI smoke).
 fuzz-smoke:
 	$(GO) test -run FuzzReader -fuzz FuzzReader -fuzztime 10s ./internal/trace
 	$(GO) test -run FuzzCheckpointReader -fuzz FuzzCheckpointReader -fuzztime 10s ./internal/harness
+	$(GO) test -run FuzzSplitEquivalence -fuzz FuzzSplitEquivalence -fuzztime 10s ./internal/workload
 
 # Fault-injection battery: every chaos fault class driven through the real
 # simulator and supervision stack under the race detector. Each scenario
@@ -66,6 +68,14 @@ fuzz-smoke:
 # error naming the injected fault.
 chaos:
 	$(GO) test -race -count=1 -run TestBattery ./internal/chaos
+
+# Differential-equivalence battery at the issue's full scale: 8-shard
+# 2M-instruction runs across all four policy quadrants, checked against
+# the serial reference within the declared bounds (DESIGN.md §12), plus
+# the beacon-chain-exact 1-shard degenerate case — all under the race
+# detector.
+equiv:
+	ITPSIM_EQUIV_SCALE=full $(GO) test -race -count=1 -run 'TestDifferentialEquivalence|TestOneShardExact' ./internal/shard
 
 # Benchmark baseline file: BENCH_<date>.json unless overridden.
 BENCH_BASELINE ?= BENCH_$(shell date +%Y%m%d).json
@@ -78,9 +88,11 @@ bench:
 # Stable micro-benchmarks only, for regression comparison (3 iterations
 # to damp timer noise), plus the steady-state hot-loop benches whose
 # allocs/op feed benchguard's allocation gate (many iterations: each op is
-# a single simulated instruction).
+# a single simulated instruction). SerialRun/ShardedRun feed the sharding
+# speedup gate; ShardedRun reports the speedup metric only on hosts with
+# enough cores.
 bench-baseline:
-	{ $(GO) test -bench 'SimulatorThroughput|CacheAccess|STLBLookup|WorkloadGeneration' -benchmem -benchtime 3x -run '^$$' . ; \
+	{ $(GO) test -bench 'SimulatorThroughput|CacheAccess|STLBLookup|WorkloadGeneration|SerialRun|ShardedRun' -benchmem -benchtime 3x -run '^$$' . ; \
 	  $(GO) test -bench 'SteadyState' -benchmem -benchtime 20000x -run '^$$' ./internal/sim ; } \
 		| $(GO) run ./cmd/benchguard -record $(BENCH_BASELINE)
 

@@ -65,12 +65,14 @@ const (
 
 func main() {
 	var (
-		record    = flag.String("record", "", "parse `go test -bench` output from stdin into this JSON baseline")
-		compare   = flag.String("compare", "", "old.json,new.json — fail on regressions between the two baselines")
-		check     = flag.String("check", "", "apply the single-baseline gates (alloc gate, instrumentation overhead) to this baseline")
-		threshold = flag.Float64("threshold", 0.10, "max tolerated ns/op (or allocs/op) growth (0.10 = 10%)")
-		overhead  = flag.Float64("overhead", 0.05, "max tolerated metrics-instrumentation overhead within one baseline")
-		allocGate = flag.String("alloc-gate", "^BenchmarkSteadyState", "regexp of benchmarks that must report 0 allocs/op (empty disables)")
+		record     = flag.String("record", "", "parse `go test -bench` output from stdin into this JSON baseline")
+		compare    = flag.String("compare", "", "old.json,new.json — fail on regressions between the two baselines")
+		check      = flag.String("check", "", "apply the single-baseline gates (alloc gate, instrumentation overhead) to this baseline")
+		threshold  = flag.Float64("threshold", 0.10, "max tolerated ns/op (or allocs/op) growth (0.10 = 10%)")
+		overhead   = flag.Float64("overhead", 0.05, "max tolerated metrics-instrumentation overhead within one baseline")
+		allocGate  = flag.String("alloc-gate", "^BenchmarkSteadyState", "regexp of benchmarks that must report 0 allocs/op (empty disables)")
+		metricGate = flag.String("metric-gate", "BenchmarkShardedRun:speedup>=5",
+			"comma-separated bench:metric>=min floors on custom metrics; a baseline missing the metric is noted and skipped (empty disables)")
 	)
 	flag.Parse()
 
@@ -80,7 +82,7 @@ func main() {
 			fatal(err)
 		}
 	case *check != "":
-		if err := doCheck(*check, *overhead, *allocGate); err != nil {
+		if err := doCheck(*check, *overhead, *allocGate, *metricGate); err != nil {
 			fmt.Fprintln(os.Stderr, "benchguard:", err)
 			os.Exit(1)
 		}
@@ -89,7 +91,7 @@ func main() {
 		if len(parts) != 2 {
 			fatal(fmt.Errorf("-compare wants old.json,new.json"))
 		}
-		if err := doCompare(parts[0], parts[1], *threshold, *overhead, *allocGate); err != nil {
+		if err := doCompare(parts[0], parts[1], *threshold, *overhead, *allocGate, *metricGate); err != nil {
 			fmt.Fprintln(os.Stderr, "benchguard:", err)
 			os.Exit(1)
 		}
@@ -157,7 +159,7 @@ func doRecord(path string) error {
 	return nil
 }
 
-func doCompare(oldPath, newPath string, threshold, overheadBudget float64, allocGate string) error {
+func doCompare(oldPath, newPath string, threshold, overheadBudget float64, allocGate, metricGate string) error {
 	oldB, err := load(oldPath)
 	if err != nil {
 		return err
@@ -206,7 +208,7 @@ func doCompare(oldPath, newPath string, threshold, overheadBudget float64, alloc
 		return fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
 	}
 
-	failures, err := baselineGates(newB, newPath, overheadBudget, allocGate)
+	failures, err := baselineGates(newB, newPath, overheadBudget, allocGate, metricGate)
 	if err != nil {
 		return err
 	}
@@ -222,12 +224,12 @@ func doCompare(oldPath, newPath string, threshold, overheadBudget float64, alloc
 // doCheck applies the single-baseline gates to one recorded baseline —
 // the unconditional CI path when no cached baseline exists to compare
 // against yet.
-func doCheck(path string, overheadBudget float64, allocGate string) error {
+func doCheck(path string, overheadBudget float64, allocGate, metricGate string) error {
 	b, err := load(path)
 	if err != nil {
 		return err
 	}
-	failures, err := baselineGates(b, path, overheadBudget, allocGate)
+	failures, err := baselineGates(b, path, overheadBudget, allocGate, metricGate)
 	if err != nil {
 		return err
 	}
@@ -241,7 +243,7 @@ func doCheck(path string, overheadBudget float64, allocGate string) error {
 // baselineGates runs the checks that need only one baseline: the
 // zero-allocation gate over -alloc-gate benchmarks and the
 // instrumentation-overhead budget.
-func baselineGates(b baseline, path string, overheadBudget float64, allocGate string) ([]string, error) {
+func baselineGates(b baseline, path string, overheadBudget float64, allocGate, metricGate string) ([]string, error) {
 	var failures []string
 
 	if allocGate != "" {
@@ -276,6 +278,39 @@ func baselineGates(b baseline, path string, overheadBudget float64, allocGate st
 		}
 	}
 
+	// Custom-metric floors (bench:metric>=min). The canonical one is the
+	// sharded-run speedup target: BenchmarkShardedRun only reports
+	// "speedup" when the host has enough cores to run every shard
+	// concurrently, so an absent metric is a noted skip, not a failure —
+	// while a present metric below its floor fails the gate anywhere.
+	for _, gate := range strings.Split(metricGate, ",") {
+		gate = strings.TrimSpace(gate)
+		if gate == "" {
+			continue
+		}
+		name, metric, min, err := parseMetricGate(gate)
+		if err != nil {
+			return nil, err
+		}
+		res, ok := b.Benchmarks[name]
+		if !ok {
+			failures = append(failures,
+				fmt.Sprintf("metric gate %q: %s not in %s (bench pattern out of date?)", gate, name, path))
+			continue
+		}
+		v, ok := res.Metrics[metric]
+		if !ok {
+			fmt.Printf("%-48s %s not reported; gate skipped (host below the bench's core requirement?)\n", name, metric)
+			continue
+		}
+		if v < min {
+			failures = append(failures,
+				fmt.Sprintf("%s: %s %.2f below the %.2f floor", name, metric, v, min))
+		} else {
+			fmt.Printf("%-48s %s %.2f >= %.2f ok\n", name, metric, v, min)
+		}
+	}
+
 	if plain, ok := b.Benchmarks[plainBench]; ok {
 		if inst, ok := b.Benchmarks[instrumentedBench]; ok && plain.NsPerOp > 0 {
 			ratio := inst.NsPerOp/plain.NsPerOp - 1
@@ -287,6 +322,32 @@ func baselineGates(b baseline, path string, overheadBudget float64, allocGate st
 		}
 	}
 	return failures, nil
+}
+
+// parseMetricGate splits one "bench:metric>=min" gate.
+func parseMetricGate(gate string) (name, metric string, min float64, err error) {
+	name, rest, ok := strings.Cut(gate, ":")
+	if ok {
+		metric, ok = cutSuffixFloat(rest, &min)
+	}
+	if !ok || name == "" || metric == "" {
+		return "", "", 0, fmt.Errorf("-metric-gate %q: want bench:metric>=min", gate)
+	}
+	return name, metric, min, nil
+}
+
+// cutSuffixFloat splits "metric>=min", parsing min.
+func cutSuffixFloat(s string, min *float64) (string, bool) {
+	metric, val, ok := strings.Cut(s, ">=")
+	if !ok {
+		return "", false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+	if err != nil {
+		return "", false
+	}
+	*min = v
+	return strings.TrimSpace(metric), true
 }
 
 func load(path string) (baseline, error) {

@@ -64,6 +64,7 @@ func main() {
 		warmup  = flag.Uint64("warmup", 0, "override: warmup instructions per thread")
 		measure = flag.Uint64("measure", 0, "override: measured instructions per thread")
 		par     = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 1, "split each single-workload simulation into this many parallel segments (1 = serial; error bounds in DESIGN.md §12)")
 		csvDir  = flag.String("csv", "", "also write <dir>/<fig>.csv for each experiment")
 		svgDir  = flag.String("svg", "", "also render <dir>/<fig>.svg bar charts")
 
@@ -101,6 +102,7 @@ func main() {
 		o.Measure = *measure
 	}
 	o.Parallelism = *par
+	o.Shards = *shards
 	o.Retries = *retries
 	o.JobTimeout = *jobTimeout
 	o.Checkpoint = *checkpoint

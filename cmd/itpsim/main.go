@@ -32,6 +32,7 @@ import (
 	"itpsim/internal/config"
 	"itpsim/internal/harness"
 	"itpsim/internal/metrics"
+	"itpsim/internal/shard"
 	"itpsim/internal/sim"
 	"itpsim/internal/stats"
 	"itpsim/internal/trace"
@@ -72,6 +73,7 @@ func main() {
 		wdInterval  = flag.Duration("watchdog-interval", 5*time.Second, "forward-progress sampling period (0 disables the watchdog)")
 		wdSamples   = flag.Int("watchdog-samples", 6, "consecutive no-progress samples before a run is killed")
 		parallelism = flag.Int("parallel", 0, "concurrent simulations in multi-workload mode (0 = GOMAXPROCS)")
+		shards      = flag.Int("shards", 1, "split the run into this many parallel warmup+measure segments (single catalogue workload only; 1 = serial)")
 	)
 	flag.Parse()
 
@@ -225,7 +227,22 @@ func main() {
 		if *smtPartner != "" {
 			fatal(fmt.Errorf("-smt requires a single -workload"))
 		}
+		if *shards > 1 {
+			fatal(fmt.Errorf("-shards applies to a single -workload, not a batch"))
+		}
 		runBatch(cat, cfg, hopts, names, *warmup, *measure, attachMetrics, faultStream)
+		return
+	}
+
+	if *shards > 1 {
+		if *tracePath != "" || *smtPartner != "" || *chaosKind != "" {
+			fatal(fmt.Errorf("-shards supports a single catalogue workload (no -trace, -smt, or -chaos)"))
+		}
+		var window uint64
+		if exporter != nil {
+			window = mWindow
+		}
+		runSharded(cat, cfg, hopts, names[0], *shards, *warmup, *measure, *beaconEvery, *auditOn, window, exporter)
 		return
 	}
 
@@ -312,6 +329,60 @@ func main() {
 	fmt.Print(s)
 	if b := outs[0].Beacon; b != nil {
 		fmt.Printf("\nbeacon chain: %016x over %d beacons\n", b.Chain, b.Count)
+	}
+}
+
+// runSharded is the parallel single-workload mode: the measured region is
+// split into K segments, each simulated on its own machine under the
+// supervisor (per-shard retries, watchdog, checkpoint/resume of finished
+// shards), and the per-segment statistics are stitched into one report.
+// With an exporter, the stitched window series — already rebased into
+// serial coordinates — is written after the run completes.
+func runSharded(cat *workload.Catalog, cfg config.SystemConfig, hopts harness.Options,
+	name string, shards int, warmup, measure, beaconEvery uint64, auditOn bool,
+	window uint64, exporter *metrics.JSONL) {
+	spec, err := cat.Get(name)
+	if err != nil {
+		fatal(err)
+	}
+	scfg := shard.Config{
+		System:         cfg,
+		Plan:           shard.Plan{Shards: shards, Warmup: warmup, Measure: measure},
+		BeaconInterval: beaconEvery,
+		Audit:          auditOn,
+		MetricsWindow:  window,
+	}
+	key := fmt.Sprintf("itpsim|%s|%s/%s/%s|h%.2f|%d/%d",
+		name, cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy,
+		cfg.HugePageFraction, warmup, measure)
+	res, err := shard.Run(scfg, key, shard.Source{Name: name, New: spec.NewStream}, shard.NewIndex(), hopts)
+	if err != nil {
+		fatal(err)
+	}
+	if exporter != nil {
+		sink := exporter.WindowSink(name, func(err error) {
+			fmt.Fprintf(os.Stderr, "itpsim: metrics export (%s): %v\n", name, err)
+		})
+		for i := range res.Windows {
+			sink(&res.Windows[i])
+		}
+	}
+	fmt.Printf("workload: %s (%d shards)\npolicies: STLB=%s L2C=%s LLC=%s\nwarmup=%d per shard, measure=%d total\n\n",
+		name, shards, cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy, warmup, measure)
+	fmt.Print(res.Stats)
+	fmt.Printf("\n%-6s %12s %12s %9s %s\n", "shard", "offset", "measured", "attempts", "status")
+	for _, sh := range res.Shards {
+		status := "ok"
+		if sh.Cached {
+			status = "ok (checkpoint)"
+		}
+		if sh.Beacon != nil {
+			status += fmt.Sprintf(" chain=%016x/%d", sh.Beacon.Chain, sh.Beacon.Count)
+		}
+		fmt.Printf("%-6d %12d %12d %9d %s\n", sh.Segment.Index, sh.Segment.Offset, sh.Segment.Measure, sh.Attempts, status)
+	}
+	if b := res.Beacon(); b != nil {
+		fmt.Printf("\nbeacon chain: %016x over %d beacons (serial-exact: 1 shard)\n", b.Chain, b.Count)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"itpsim/internal/config"
 	"itpsim/internal/harness"
 	"itpsim/internal/metrics"
+	"itpsim/internal/shard"
 	"itpsim/internal/sim"
 	"itpsim/internal/stats"
 	"itpsim/internal/workload"
@@ -94,6 +95,7 @@ func main() {
 		wdInterval  = flag.Duration("watchdog-interval", 5*time.Second, "forward-progress sampling period (0 disables the watchdog)")
 		wdSamples   = flag.Int("watchdog-samples", 6, "consecutive no-progress samples before a run is killed")
 		parallelism = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		shards      = flag.Int("shards", 1, "split each grid point into this many parallel warmup+measure segments (1 = serial; see DESIGN.md §12 for the error bounds)")
 	)
 	flag.Parse()
 
@@ -194,57 +196,6 @@ func main() {
 		reg.PublishExpvar("itpsweep." + job)
 	}
 
-	// One harness job per (value, workload) point; the whole grid runs
-	// supervised and failures cost single points, not the sweep.
-	type point struct {
-		value    float64
-		workload string
-	}
-	var pts []point
-	var jobs []harness.Job[*stats.Sim]
-	for _, v := range vals {
-		for _, name := range names {
-			v, name := v, name
-			pts = append(pts, point{v, name})
-			jobs = append(jobs, harness.Job[*stats.Sim]{
-				Key: fmt.Sprintf("sweep|%s=%g|%s|%s/%s/%s|%d/%d",
-					*param, v, name, *stlbPol, *l2cPol, *llcPol, *warmup, *measure),
-				Run: func(jc *harness.JobContext) (*stats.Sim, error) {
-					spec, err := cat.Get(name)
-					if err != nil {
-						return nil, harness.Permanent(err)
-					}
-					cfg := config.Default()
-					cfg.STLBPolicy = *stlbPol
-					cfg.L2CPolicy = *l2cPol
-					cfg.LLCPolicy = *llcPol
-					if err := mutate(&cfg, v); err != nil {
-						return nil, harness.Permanent(err)
-					}
-					m, err := sim.NewMachine(cfg)
-					if err != nil {
-						return nil, harness.Permanent(err)
-					}
-					jc.Attach(m)
-					if *beaconEvery > 0 {
-						m.EnableBeacons(*beaconEvery)
-					}
-					if *auditOn {
-						m.EnableAudit(0)
-					}
-					attachMetrics(m, fmt.Sprintf("%s=%g/%s", *param, v, name))
-					p := workload.Prefetch(spec.NewStream())
-					defer p.Close()
-					res, err := m.RunWarmup([]workload.Stream{p}, *warmup, *measure)
-					if err != nil {
-						return nil, err
-					}
-					return res.Stats, nil
-				},
-			})
-		}
-	}
-
 	hopts := harness.Options{
 		Parallelism:      *parallelism,
 		Retries:          *retries,
@@ -259,15 +210,96 @@ func main() {
 	if hopts.Parallelism <= 0 {
 		hopts.Parallelism = runtime.GOMAXPROCS(0)
 	}
-	outs, err := harness.RunAll(hopts, jobs)
+
+	// One row per (value, workload) point. Serially each point is one
+	// harness job; with -shards every point expands into K segment jobs,
+	// all flattened into the SAME RunAll so a shared checkpoint journal
+	// keeps a single writer, then each point is stitched back into a row.
+	type point struct {
+		value    float64
+		workload string
+	}
+	var pts []point
+	var outs []harness.Outcome[*stats.Sim]
+	var runErr error
+	var totalJobs int
+	if *shards > 1 {
+		if *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "itpsweep: -metrics-out is not supported with -shards (use cmd/itpsim's sharded mode for stitched window export)")
+			os.Exit(2)
+		}
+		var scfgs []shard.Config
+		var flat []harness.Job[*shard.Payload]
+		ix := shard.NewIndex()
+		for _, v := range vals {
+			for _, name := range names {
+				pts = append(pts, point{v, name})
+				cfg := config.Default()
+				cfg.STLBPolicy = *stlbPol
+				cfg.L2CPolicy = *l2cPol
+				cfg.LLCPolicy = *llcPol
+				if err := mutate(&cfg, v); err != nil {
+					fmt.Fprintf(os.Stderr, "itpsweep: %s=%g: %v\n", *param, v, err)
+					os.Exit(2)
+				}
+				spec, err := cat.Get(name)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "itpsweep:", err)
+					os.Exit(2)
+				}
+				scfg := shard.Config{
+					System:         cfg,
+					Plan:           shard.Plan{Shards: *shards, Warmup: *warmup, Measure: *measure},
+					BeaconInterval: *beaconEvery,
+					Audit:          *auditOn,
+				}
+				key := fmt.Sprintf("sweep|%s=%g|%s|%s/%s/%s|%d/%d",
+					*param, v, name, *stlbPol, *l2cPol, *llcPol, *warmup, *measure)
+				js, err := shard.Jobs(scfg, key, shard.Source{Name: name, New: spec.NewStream}, ix)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "itpsweep:", err)
+					os.Exit(2)
+				}
+				scfgs = append(scfgs, scfg)
+				flat = append(flat, js...)
+			}
+		}
+		totalJobs = len(flat)
+		flatOuts, err := harness.RunAll(hopts, flat)
+		if flatOuts == nil {
+			fmt.Fprintln(os.Stderr, "itpsweep:", err)
+			os.Exit(1)
+		}
+		runErr = err
+		outs = make([]harness.Outcome[*stats.Sim], len(pts))
+		for i := range pts {
+			res, serr := shard.Stitch(scfgs[i], flatOuts[i**shards:(i+1)**shards])
+			if serr != nil {
+				outs[i].Err = serr
+				continue
+			}
+			outs[i].Result = res.Stats
+		}
+	} else {
+		outs, runErr, totalJobs = runSerialSweep(serialSweep{
+			cat: cat, mutate: mutate, attachMetrics: attachMetrics, hopts: hopts,
+			param: *param, vals: vals, names: names,
+			stlb: *stlbPol, l2c: *l2cPol, llc: *llcPol,
+			warmup: *warmup, measure: *measure,
+			beaconEvery: *beaconEvery, auditOn: *auditOn,
+		}, func(v float64, name string) { pts = append(pts, point{v, name}) })
+	}
 	if outs == nil {
-		fmt.Fprintln(os.Stderr, "itpsweep:", err)
+		fmt.Fprintln(os.Stderr, "itpsweep:", runErr)
 		os.Exit(1)
 	}
 
-	fmt.Printf("sweep %s over %v; policies STLB=%s L2C=%s LLC=%s; %d+%d instr\n\n",
+	fmt.Printf("sweep %s over %v; policies STLB=%s L2C=%s LLC=%s; %d+%d instr",
 		*param, vals, *stlbPol, *l2cPol, *llcPol, *warmup, *measure)
-	fmt.Printf("%-10s %-10s %8s %9s %9s %9s %9s\n",
+	if *shards > 1 {
+		fmt.Printf("; %d shards/point", *shards)
+	}
+	fmt.Printf("\n\n%-10s %-10s %8s %9s %9s %9s %9s\n",
 		"value", "workload", "IPC", "STLB-MPKI", "walk-lat", "L2C-dt", "itc%")
 
 	failed := 0
@@ -291,10 +323,76 @@ func main() {
 		}
 		fmt.Printf("%-10.3g %-10s %8.4f\n\n", v, "GEOMEAN", stats.Geomean(ratios))
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "itpsweep: %d/%d jobs failed:\n%v\n", failed, len(jobs), err)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "itpsweep: %d/%d jobs failed:\n%v\n", failed, totalJobs, runErr)
 		os.Exit(1)
 	}
+}
+
+// serialSweep carries the grid parameters into runSerialSweep.
+type serialSweep struct {
+	cat           *workload.Catalog
+	mutate        func(*config.SystemConfig, float64) error
+	attachMetrics func(m *sim.Machine, job string)
+	hopts         harness.Options
+	param         string
+	vals          []float64
+	names         []string
+	stlb, l2c     string
+	llc           string
+	warmup        uint64
+	measure       uint64
+	beaconEvery   uint64
+	auditOn       bool
+}
+
+// runSerialSweep is the classic one-job-per-point path.
+func runSerialSweep(s serialSweep, addPoint func(v float64, name string)) ([]harness.Outcome[*stats.Sim], error, int) {
+	var jobs []harness.Job[*stats.Sim]
+	for _, v := range s.vals {
+		for _, name := range s.names {
+			v, name := v, name
+			addPoint(v, name)
+			jobs = append(jobs, harness.Job[*stats.Sim]{
+				Key: fmt.Sprintf("sweep|%s=%g|%s|%s/%s/%s|%d/%d",
+					s.param, v, name, s.stlb, s.l2c, s.llc, s.warmup, s.measure),
+				Run: func(jc *harness.JobContext) (*stats.Sim, error) {
+					spec, err := s.cat.Get(name)
+					if err != nil {
+						return nil, harness.Permanent(err)
+					}
+					cfg := config.Default()
+					cfg.STLBPolicy = s.stlb
+					cfg.L2CPolicy = s.l2c
+					cfg.LLCPolicy = s.llc
+					if err := s.mutate(&cfg, v); err != nil {
+						return nil, harness.Permanent(err)
+					}
+					m, err := sim.NewMachine(cfg)
+					if err != nil {
+						return nil, harness.Permanent(err)
+					}
+					jc.Attach(m)
+					if s.beaconEvery > 0 {
+						m.EnableBeacons(s.beaconEvery)
+					}
+					if s.auditOn {
+						m.EnableAudit(0)
+					}
+					s.attachMetrics(m, fmt.Sprintf("%s=%g/%s", s.param, v, name))
+					p := workload.Prefetch(spec.NewStream())
+					defer p.Close()
+					res, err := m.RunWarmup([]workload.Stream{p}, s.warmup, s.measure)
+					if err != nil {
+						return nil, err
+					}
+					return res.Stats, nil
+				},
+			})
+		}
+	}
+	outs, err := harness.RunAll(s.hopts, jobs)
+	return outs, err, len(jobs)
 }
 
 // firstLine truncates multi-line errors (panic stacks, snapshots) for the

@@ -8,6 +8,7 @@ package experiments
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -19,6 +20,7 @@ import (
 
 	"itpsim/internal/config"
 	"itpsim/internal/harness"
+	"itpsim/internal/shard"
 	"itpsim/internal/sim"
 	"itpsim/internal/stats"
 	"itpsim/internal/workload"
@@ -40,6 +42,13 @@ type Options struct {
 	Measure uint64
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Shards > 1 splits every single-workload simulation into that many
+	// parallel warmup+measure segments (internal/shard), stitched back
+	// into one stats record per job; SMT pair simulations always run
+	// whole because sharding is defined over a single stream. The
+	// per-shard warmup approximation shifts metrics within the bounds
+	// documented in DESIGN.md §12.
+	Shards int
 
 	// Fault tolerance: every sweep routes its jobs through the
 	// internal/harness supervisor with these settings.
@@ -147,6 +156,7 @@ func (c Combo) apply(cfg *config.SystemConfig) {
 type runner struct {
 	o   Options
 	cat *workload.Catalog
+	ix  *shard.Index // split-position cache shared by all sharded sweeps
 
 	mu   sync.Mutex
 	memo map[string]*stats.Sim
@@ -156,6 +166,7 @@ func newRunner(o Options) *runner {
 	return &runner{
 		o:    o,
 		cat:  workload.NewCatalog(120, 20),
+		ix:   shard.NewIndex(),
 		memo: make(map[string]*stats.Sim),
 	}
 }
@@ -280,6 +291,9 @@ func (r *runner) run(jc *harness.JobContext, j job) (*stats.Sim, error) {
 // left nil, so callers can keep partial sweeps and report exactly which
 // jobs died.
 func (r *runner) runAll(jobs []job) ([]*stats.Sim, error) {
+	if r.o.Shards > 1 {
+		return r.runAllSharded(jobs)
+	}
 	hjobs := make([]harness.Job[*stats.Sim], len(jobs))
 	for i := range jobs {
 		j := jobs[i]
@@ -308,6 +322,118 @@ func (r *runner) runAll(jobs []job) ([]*stats.Sim, error) {
 		}
 	}
 	return out, err
+}
+
+// runAllSharded is runAll's Options.Shards>1 path: every single-workload
+// job expands into K supervised segment jobs and every pair job wraps
+// into one whole-run job, all flattened into a SINGLE harness.RunAll so
+// a shared checkpoint journal keeps one writer. Afterwards each logical
+// job's segment outcomes are stitched back into one stats record; the
+// error contract matches runAll (partial results, joined failures).
+func (r *runner) runAllSharded(jobs []job) ([]*stats.Sim, error) {
+	type span struct {
+		start, n int          // slice of the flat outcome list
+		cfg      shard.Config // set when sharded (single-workload)
+		sharded  bool
+		memo     *stats.Sim // pre-resolved from the in-process memo
+		dup      int        // >=0: same key as an earlier job in this batch
+		err      error      // expansion failure (unknown workload, bad plan)
+	}
+	spans := make([]span, len(jobs))
+	seen := make(map[string]int, len(jobs))
+	var flat []harness.Job[*shard.Payload]
+	for i := range jobs {
+		j := jobs[i]
+		spans[i].dup = -1
+		r.mu.Lock()
+		s, ok := r.memo[j.key]
+		r.mu.Unlock()
+		if ok {
+			spans[i].memo = s
+			continue
+		}
+		if first, ok := seen[j.key]; ok {
+			spans[i].dup = first
+			continue
+		}
+		seen[j.key] = i
+		if len(j.names) == 1 {
+			spec, err := r.cat.Get(j.names[0])
+			if err != nil {
+				spans[i].err = err
+				continue
+			}
+			cfg := shard.Config{System: j.cfg, Plan: shard.Plan{Shards: r.o.Shards, Warmup: j.warmup, Measure: j.measure}}
+			sjobs, err := shard.Jobs(cfg, j.key, shard.Source{Name: j.names[0], New: spec.NewStream}, r.ix)
+			if err != nil {
+				spans[i].err = fmt.Errorf("%s: %w", j.key, err)
+				continue
+			}
+			spans[i] = span{start: len(flat), n: len(sjobs), cfg: cfg, sharded: true, dup: -1}
+			flat = append(flat, sjobs...)
+			continue
+		}
+		// Pairs run whole: sharding is defined over one stream, and the
+		// whole-run job still gets the supervisor (retries, watchdog,
+		// checkpoint) through the same flat batch.
+		spans[i] = span{start: len(flat), n: 1, dup: -1}
+		flat = append(flat, harness.Job[*shard.Payload]{
+			Key: j.key + "|whole",
+			Run: func(jc *harness.JobContext) (*shard.Payload, error) {
+				s, err := r.run(jc, j)
+				if err != nil {
+					return nil, err
+				}
+				return &shard.Payload{Stats: s}, nil
+			},
+		})
+	}
+
+	outs, runErr := harness.RunAll(r.harnessOptions(), flat)
+	if outs == nil {
+		return nil, runErr
+	}
+	var errs []error
+	if runErr != nil {
+		errs = append(errs, runErr)
+	}
+	out := make([]*stats.Sim, len(jobs))
+	for i := range jobs {
+		sp := spans[i]
+		switch {
+		case sp.memo != nil:
+			out[i] = sp.memo
+		case sp.err != nil:
+			errs = append(errs, sp.err)
+		case sp.dup >= 0:
+			out[i] = out[sp.dup] // nil if the first instance failed
+		case sp.sharded:
+			res, err := shard.Stitch(sp.cfg, outs[sp.start:sp.start+sp.n])
+			if err != nil {
+				// The failing segments are already in runErr; this adds
+				// which logical job they sank.
+				errs = append(errs, fmt.Errorf("%s: %w", jobs[i].key, err))
+				continue
+			}
+			out[i] = res.Stats
+		default:
+			o := outs[sp.start]
+			if o.Err != nil {
+				continue // joined into runErr by the harness
+			}
+			if o.Result == nil || o.Result.Stats == nil {
+				errs = append(errs, fmt.Errorf("%s: empty whole-run payload (stale checkpoint?)", jobs[i].key))
+				continue
+			}
+			out[i] = o.Result.Stats
+		}
+		if out[i] != nil {
+			r.mu.Lock()
+			r.memo[jobs[i].key] = out[i]
+			r.mu.Unlock()
+		}
+	}
+	return out, errors.Join(errs...)
 }
 
 // speedup returns the relative IPC improvement in percent.

@@ -390,3 +390,89 @@ func TestGeomeanSpeedupAgainstKnownValues(t *testing.T) {
 		t.Error("self speedup should be 0")
 	}
 }
+
+// TestShardedRunAllMatchesSerial routes the same job set through the
+// serial and Options.Shards paths: pair jobs (run whole) and duplicate
+// keys must be exact, single-workload jobs must agree within the
+// sharding methodology's error bounds (DESIGN.md §12), and the stitched
+// instruction count must be exact.
+func TestShardedRunAllMatchesSerial(t *testing.T) {
+	o := tiny()
+	serial := newRunner(o)
+	cfg := config.Default()
+	names := serial.serverSet()
+	jobs := []job{
+		serial.newJob([]string{names[0]}, cfg, "shardtest"),
+		serial.newJob([]string{names[0], names[1]}, cfg, "shardtest"),
+		serial.newJob([]string{names[0]}, cfg, "shardtest"), // duplicate key
+	}
+	want, err := serial.runAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o.Shards = 2
+	sharded := newRunner(o)
+	got, err := sharded.runAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("sharded runAll returned %d results, want %d", len(got), len(jobs))
+	}
+	for i, s := range got {
+		if s == nil {
+			t.Fatalf("job %d: nil stats", i)
+		}
+		if gi, wi := s.TotalInstructions(), want[i].TotalInstructions(); gi != wi {
+			t.Errorf("job %d: %d instructions, serial %d", i, gi, wi)
+		}
+	}
+	if *got[1] != *want[1] {
+		t.Error("pair job runs whole and must match the serial run exactly")
+	}
+	if got[2] != got[0] {
+		t.Error("duplicate-key jobs should share one stitched stats record")
+	}
+	// The only sharded approximation is warmup; at this 1:1 warmup:measure
+	// geometry IPC stays well inside the documented bounds.
+	if d := got[0].IPC()/want[0].IPC() - 1; d > 0.15 || d < -0.15 {
+		t.Errorf("sharded IPC %.4f vs serial %.4f: delta %.3f outside bound", got[0].IPC(), want[0].IPC(), d)
+	}
+	// Memoisation: a second sharded runAll recalls every stitched record.
+	again, err := sharded.runAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if again[i] != got[i] {
+			t.Errorf("job %d: second sharded runAll should hit the memo", i)
+		}
+	}
+}
+
+// TestShardedFigure runs one real figure through Options.Shards and
+// checks it produces the same rows as the serial run.
+func TestShardedFigure(t *testing.T) {
+	o := tiny()
+	serial, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Shards = 2
+	sharded, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sharded.Rows) != len(serial.Rows) {
+		t.Fatalf("sharded Fig2 has %d rows, serial %d", len(sharded.Rows), len(serial.Rows))
+	}
+	for i, r := range sharded.Rows {
+		if r.Series != serial.Rows[i].Series || r.Label != serial.Rows[i].Label {
+			t.Errorf("row %d: %s/%s, serial %s/%s", i, r.Series, r.Label, serial.Rows[i].Series, serial.Rows[i].Label)
+		}
+		if r.Value < 0 || r.Value != r.Value {
+			t.Errorf("row %d (%s/%s): bad value %v", i, r.Series, r.Label, r.Value)
+		}
+	}
+}

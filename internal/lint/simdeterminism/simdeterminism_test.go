@@ -17,9 +17,18 @@ func TestAnalyzer(t *testing.T) {
 		"./testdata/src/corefix", "./testdata/src/noncore")
 }
 
+func TestAnalyzerShardFixture(t *testing.T) {
+	old := CoreScope
+	CoreScope = func(path string) bool { return strings.HasSuffix(path, "/shardfix") }
+	defer func() { CoreScope = old }()
+
+	linttest.Run(t, []*lintcore.Analyzer{Analyzer}, "./testdata/src/shardfix")
+}
+
 func TestCoreScopeDefault(t *testing.T) {
 	for _, path := range []string{
 		"itpsim/internal/sim", "itpsim/internal/metrics", "itpsim/internal/replacement",
+		"itpsim/internal/shard",
 	} {
 		if !CoreScope(path) {
 			t.Errorf("CoreScope(%q) = false, want true", path)

@@ -1,0 +1,35 @@
+// Package shardfix is a simdeterminism fixture modelled on the
+// internal/shard stitching path: shard results MUST be combined in
+// segment-index order, so collecting them into a map and ranging over it
+// is exactly the nondeterminism the analyzer exists to catch. The
+// indexed-slice version below is the sanctioned shape.
+package shardfix
+
+// payload stands in for one shard's stitched contribution.
+type payload struct {
+	index int
+	instr uint64
+}
+
+// stitchFromMap is the forbidden shape: map iteration order would decide
+// the order shard results are folded in.
+func stitchFromMap(byShard map[int]payload) uint64 {
+	var total uint64
+	for _, p := range byShard { // want `map iteration in the deterministic core`
+		total += p.instr
+	}
+	return total
+}
+
+// stitchIndexed is the sanctioned shape: outcomes live in a slice indexed
+// by segment, so the fold order is the segment order by construction.
+func stitchIndexed(ordered []payload) uint64 {
+	var total uint64
+	for i := range ordered {
+		total += ordered[i].instr
+	}
+	return total
+}
+
+var _ = stitchFromMap
+var _ = stitchIndexed

@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/config"
+	"itpsim/internal/harness"
+	"itpsim/internal/sim"
+	"itpsim/internal/stats"
+	"itpsim/internal/workload"
+)
+
+// The differential battery: serial-vs-sharded equivalence across the four
+// policy quadrants of the paper's design space (baseline LRU, the iTP
+// STLB policy, the xPTP L2 policy, and both together). The sharded run
+// approximates the serial one only through per-shard warmup, so the
+// deltas below are the declared error bounds of the sharding methodology;
+// DESIGN.md §12 and the README table document them. The degenerate
+// 1-shard plan is exact and is asserted beacon-chain-identical.
+
+// quadrant is one corner of the policy design space.
+type quadrant struct {
+	name string
+	stlb string
+	l2c  string
+}
+
+var quadrants = []quadrant{
+	{"lru-lru", "lru", "lru"},
+	{"itp-lru", "itp", "lru"},
+	{"lru-xptp", "lru", "xptp"},
+	{"itp-xptp", "itp", "xptp"},
+}
+
+// bounds are the declared serial-vs-sharded error bounds for one battery
+// geometry, as relative deltas (mpki floored, see mpkiDelta). The sharded
+// run's only approximation is warmup — shard i sees W instructions of
+// true stream prefix instead of W + i·N/K — so the bounds depend on the
+// warmup:measure ratio and are declared per geometry, at roughly 1.5-2×
+// the worst delta measured across the quadrants (methodology and the
+// measured values: DESIGN.md §12; the same table is in the README).
+// Data-class walk latency is a sanity bound only: its events are few and
+// their latency is dominated by serial cache warmth, so it degrades
+// fastest as measure outgrows warmup.
+type bounds struct {
+	ipc      float64 // |IPC_shard/IPC_serial - 1|
+	mpki     float64 // relative STLB demand-MPKI delta
+	walkLat  float64 // relative mean instruction-PTW-latency delta
+	walkLatD float64 // relative mean data-PTW-latency delta (sanity bound)
+}
+
+// scale is one battery geometry with its declared bounds.
+type scale struct {
+	shards  int
+	warmup  uint64
+	measure uint64
+	b       bounds
+}
+
+// equivScale returns the battery geometry: CI scale by default, the
+// issue's 8-shard 2M-instruction full scale under ITPSIM_EQUIV_SCALE=full
+// (make equiv).
+func equivScale() scale {
+	if os.Getenv("ITPSIM_EQUIV_SCALE") == "full" {
+		// Measured worst deltas: IPC 0.107, MPKI 0.045, walk(i) 0.216,
+		// walk(d) 0.823.
+		return scale{8, 150_000, 2_000_000, bounds{ipc: 0.15, mpki: 0.09, walkLat: 0.35, walkLatD: 1.20}}
+	}
+	// Measured worst deltas: IPC 0.056, MPKI 0.025, walk(i) 0.072,
+	// walk(d) 0.163.
+	return scale{4, 120_000, 240_000, bounds{ipc: 0.10, mpki: 0.06, walkLat: 0.15, walkLatD: 0.25}}
+}
+
+// testSource adapts a catalogue workload into a shard Source.
+func testSource(t testing.TB, name string) Source {
+	t.Helper()
+	spec, err := workload.NewCatalog(120, 20).Get(name)
+	if err != nil {
+		t.Fatalf("catalog: %v", err)
+	}
+	return Source{Name: name, New: spec.NewStream}
+}
+
+// quadrantConfig builds the system configuration of one quadrant.
+func quadrantConfig(q quadrant) config.SystemConfig {
+	cfg := config.Default()
+	cfg.STLBPolicy = q.stlb
+	cfg.L2CPolicy = q.l2c
+	return cfg
+}
+
+// serialRun is the reference: one machine, one stream, the plain
+// RunWarmup path every other test in the repo uses.
+func serialRun(t testing.TB, sys config.SystemConfig, src Source, warmup, measure, beaconInterval uint64) (*stats.Sim, uint64, uint64) {
+	t.Helper()
+	m, err := sim.NewMachine(sys)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	if beaconInterval > 0 {
+		m.EnableBeacons(beaconInterval)
+	}
+	p := workload.Prefetch(src.New())
+	defer p.Close()
+	res, err := m.RunWarmup([]workload.Stream{p}, warmup, measure)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	chain, count := m.BeaconChain()
+	return res.Stats, chain, count
+}
+
+// relDelta is |a/b - 1| with b the reference.
+func relDelta(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a/b - 1)
+}
+
+// mpkiDelta compares MPKIs with an absolute floor: below 0.05 MPKI the
+// event counts are tens per million instructions and a relative bound is
+// meaningless noise.
+func mpkiDelta(a, b float64) float64 {
+	if b < 0.05 && a < 0.05 {
+		return 0
+	}
+	return relDelta(a, b)
+}
+
+// TestDifferentialEquivalence is the battery headline: for every policy
+// quadrant, a K-shard run must agree with the serial run within the
+// declared bounds on IPC, STLB MPKI, and mean page-walk latency.
+func TestDifferentialEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential battery simulates millions of instructions")
+	}
+	sc := equivScale()
+	src := testSource(t, workload.NewCatalog(120, 20).ServerNames()[0])
+	ix := NewIndex()
+	for _, q := range quadrants {
+		t.Run(q.name, func(t *testing.T) {
+			sys := quadrantConfig(q)
+			serial, _, _ := serialRun(t, sys, src, sc.warmup, sc.measure, 0)
+
+			cfg := Config{System: sys, Plan: Plan{Shards: sc.shards, Warmup: sc.warmup, Measure: sc.measure}}
+			res, err := Run(cfg, "equiv|"+q.name, src, ix, harness.Options{})
+			if err != nil {
+				t.Fatalf("sharded run: %v", err)
+			}
+
+			if got, want := res.Stats.TotalInstructions(), serial.TotalInstructions(); got != want {
+				t.Errorf("stitched instructions %d, serial %d: segments must tile the measured region exactly", got, want)
+			}
+			if d := relDelta(res.IPC, serial.IPC()); d > sc.b.ipc {
+				t.Errorf("IPC delta %.4f > bound %.4f (shard %.4f serial %.4f)", d, sc.b.ipc, res.IPC, serial.IPC())
+			}
+			instr := serial.TotalInstructions()
+			sInstr := res.Stats.TotalInstructions()
+			if d := mpkiDelta(res.Stats.STLB.MPKI(sInstr), serial.STLB.MPKI(instr)); d > sc.b.mpki {
+				t.Errorf("STLB MPKI delta %.4f > bound %.4f (shard %.3f serial %.3f)",
+					d, sc.b.mpki, res.Stats.STLB.MPKI(sInstr), serial.STLB.MPKI(instr))
+			}
+			classBounds := [2]float64{arch.InstrClass: sc.b.walkLat, arch.DataClass: sc.b.walkLatD}
+			for _, class := range []arch.Class{arch.InstrClass, arch.DataClass} {
+				if d := relDelta(res.Stats.AvgWalkLatency(class), serial.AvgWalkLatency(class)); d > classBounds[class] {
+					t.Errorf("class-%d PTW latency delta %.4f > bound %.4f (shard %.1f serial %.1f)",
+						class, d, classBounds[class], res.Stats.AvgWalkLatency(class), serial.AvgWalkLatency(class))
+				}
+			}
+			t.Logf("%s: IPC %.4f/%.4f (Δ%.4f)  STLB MPKI %.3f/%.3f  walk-lat %.1f/%.1f",
+				q.name, res.IPC, serial.IPC(), relDelta(res.IPC, serial.IPC()),
+				res.Stats.STLB.MPKI(sInstr), serial.STLB.MPKI(instr),
+				res.Stats.AvgWalkLatency(arch.InstrClass), serial.AvgWalkLatency(arch.InstrClass))
+		})
+	}
+}
+
+// TestOneShardExact: the degenerate 1-shard plan is not an approximation
+// — it must reproduce the serial run bit-exactly, beacon chain included,
+// for every quadrant.
+func TestOneShardExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates millions of instructions")
+	}
+	sc := equivScale()
+	warmup, measure := sc.warmup, sc.measure
+	const beacon = 50_000
+	src := testSource(t, workload.NewCatalog(120, 20).ServerNames()[1])
+	ix := NewIndex()
+	for _, q := range quadrants {
+		t.Run(q.name, func(t *testing.T) {
+			sys := quadrantConfig(q)
+			serial, chain, count := serialRun(t, sys, src, warmup, measure, beacon)
+
+			cfg := Config{
+				System:         sys,
+				Plan:           Plan{Shards: 1, Warmup: warmup, Measure: measure},
+				BeaconInterval: beacon,
+			}
+			res, err := Run(cfg, "exact|"+q.name, src, ix, harness.Options{})
+			if err != nil {
+				t.Fatalf("1-shard run: %v", err)
+			}
+			if *res.Stats != *serial {
+				t.Errorf("1-shard stats differ from serial:\nshard:  %vserial: %v", res.Stats, serial)
+			}
+			stamp := res.Beacon()
+			if stamp == nil {
+				t.Fatal("1-shard result has no beacon stamp")
+			}
+			if stamp.Chain != chain || stamp.Count != count {
+				t.Errorf("beacon chain %#x/%d, serial %#x/%d: 1-shard mode must be state-identical",
+					stamp.Chain, stamp.Count, chain, count)
+			}
+		})
+	}
+}
+
+// TestMultiShardNoBeacon: a K>1 result has no serial-comparable beacon.
+func TestMultiShardNoBeacon(t *testing.T) {
+	r := &Result{Shards: make([]ShardResult, 3)}
+	if r.Beacon() != nil {
+		t.Fatal("multi-shard result claimed a serial-comparable beacon")
+	}
+}

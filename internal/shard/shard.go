@@ -1,0 +1,81 @@
+// Package shard runs one logical simulation as K overlapping
+// warmup+measure segments, each on its own sim.Machine, and stitches the
+// per-segment statistics and window series back into a single run result.
+//
+// The paper's methodology simulates each (workload × policy) cell for
+// 50M+100M instructions on a cluster; serially that costs minutes per
+// cell at this simulator's throughput. Sharding splits the measured
+// region [W, W+N) of the deterministic instruction stream into K
+// contiguous segments: shard i starts consuming the stream at offset
+// i·N/K, warms the microarchitectural state for W instructions of true
+// stream prefix, then measures its segment. The union of the measured
+// segments tiles [W, W+N) exactly — gap-free and duplicate-free — so
+// event counts stitch by summation and only the warmup approximation
+// (shard i's caches having seen W instructions of history instead of
+// W + i·N/K) separates a stitched run from the serial reference. The
+// degenerate 1-shard plan is literally the serial run, beacon chain
+// included; internal/shard's differential test battery bounds the K>1
+// warmup error per policy quadrant.
+//
+// Positioning K streams would cost O(K·N) generator work done naively;
+// the split Index snapshots the generator state at every shard offset in
+// one forward pass (workload.Cloner) and re-clones the snapshots for
+// every run that shares the workload, so a policy sweep pays the
+// positioning pass once per workload, not once per cell.
+//
+// Each shard runs as one job under the internal/harness supervisor:
+// per-shard retries, forward-progress watchdog, and checkpoint/resume of
+// completed shards through the v2 journal (keyed baseKey|shard i/K, with
+// the shard's beacon stamp journaled alongside its payload).
+package shard
+
+import "fmt"
+
+// Plan describes how one logical run splits into shards.
+type Plan struct {
+	// Shards is the segment count K (1 = the serial plan).
+	Shards int
+	// Warmup is the per-shard warmup in instructions: every shard,
+	// including shard 0, warms on the W instructions of stream prefix
+	// immediately preceding its measured segment.
+	Warmup uint64
+	// Measure is the total measured instructions across all shards.
+	Measure uint64
+}
+
+// Validate rejects nonsensical plans.
+func (p Plan) Validate() error {
+	if p.Shards < 1 {
+		return fmt.Errorf("shard: plan needs at least 1 shard, got %d", p.Shards)
+	}
+	if p.Measure < uint64(p.Shards) {
+		return fmt.Errorf("shard: measure %d < shards %d leaves empty segments", p.Measure, p.Shards)
+	}
+	return nil
+}
+
+// Segment is one shard's slice of the stream. The shard consumes stream
+// positions [Offset, Offset+Warmup+Measure); its measured region in
+// serial coordinates is [Offset+Warmup, Offset+Warmup+Measure).
+type Segment struct {
+	Index   int    `json:"index"`
+	Offset  uint64 `json:"offset"`
+	Warmup  uint64 `json:"warmup"`
+	Measure uint64 `json:"measure"`
+}
+
+// Segments lays the plan out. Boundaries are cumulative floors
+// (start_i = i·Measure/Shards), so the measured segments tile
+// [Warmup, Warmup+Measure) in serial coordinates with no gaps or
+// overlaps by construction, and the 1-shard plan degenerates to
+// {Offset: 0, Warmup, Measure} — exactly the serial run.
+func (p Plan) Segments() []Segment {
+	segs := make([]Segment, p.Shards)
+	k := uint64(p.Shards)
+	for i := range segs {
+		start := uint64(i) * p.Measure / k
+		end := uint64(i+1) * p.Measure / k
+		segs[i] = Segment{Index: i, Offset: start, Warmup: p.Warmup, Measure: end - start}
+	}
+	return segs
+}

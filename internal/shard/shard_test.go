@@ -1,0 +1,301 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/config"
+	"itpsim/internal/harness"
+	"itpsim/internal/stats"
+	"itpsim/internal/workload"
+)
+
+// TestSegmentsTile: the stitching precondition, as a property over a grid
+// of plan shapes — segments must tile the measured region gap-free,
+// duplicate-free, and in ascending order, and the 1-shard plan must
+// degenerate to the serial run.
+func TestSegmentsTile(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 64} {
+		for _, n := range []uint64{uint64(k), 100, 999, 1000, 1 << 20, 2_000_000, 2_000_001} {
+			if n < uint64(k) {
+				continue
+			}
+			p := Plan{Shards: k, Warmup: 12345, Measure: n}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("plan %+v: %v", p, err)
+			}
+			segs := p.Segments()
+			if len(segs) != k {
+				t.Fatalf("plan %+v: %d segments", p, len(segs))
+			}
+			var next, total uint64
+			for i, seg := range segs {
+				if seg.Index != i {
+					t.Fatalf("plan %+v: segment %d has index %d", p, i, seg.Index)
+				}
+				if seg.Offset != next {
+					t.Fatalf("plan %+v: segment %d offset %d, want %d (gap or overlap)", p, i, seg.Offset, next)
+				}
+				if seg.Measure == 0 {
+					t.Fatalf("plan %+v: segment %d is empty", p, i)
+				}
+				if seg.Warmup != p.Warmup {
+					t.Fatalf("plan %+v: segment %d warmup %d", p, i, seg.Warmup)
+				}
+				next = seg.Offset + seg.Measure
+				total += seg.Measure
+			}
+			if total != n {
+				t.Fatalf("plan %+v: segments measure %d of %d", p, total, n)
+			}
+			if k == 1 && (segs[0].Offset != 0 || segs[0].Measure != n) {
+				t.Fatalf("1-shard plan is not the serial run: %+v", segs[0])
+			}
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{Shards: 0, Measure: 10}).Validate(); err == nil {
+		t.Error("0-shard plan validated")
+	}
+	if err := (Plan{Shards: 4, Measure: 3}).Validate(); err == nil {
+		t.Error("measure < shards validated")
+	}
+}
+
+func TestConfigWindowAlignment(t *testing.T) {
+	base := Config{Plan: Plan{Shards: 4, Warmup: 1000, Measure: 4000}, MetricsWindow: 500}
+	if err := base.validate(); err != nil {
+		t.Errorf("aligned config rejected: %v", err)
+	}
+	bad := base
+	bad.Plan.Warmup = 1100
+	if err := bad.validate(); err == nil || !strings.Contains(err.Error(), "warmup") {
+		t.Errorf("misaligned warmup accepted: %v", err)
+	}
+	bad = base
+	bad.Plan.Measure = 4500 // segments of 1125 are not window multiples
+	if err := bad.validate(); err == nil || !strings.Contains(err.Error(), "segment") {
+		t.Errorf("misaligned segment accepted: %v", err)
+	}
+}
+
+// windowedRun runs a small sharded simulation with window sampling on.
+func windowedRun(t *testing.T, k int, warmup, measure, window uint64) *Result {
+	t.Helper()
+	src := testSource(t, workload.NewCatalog(120, 20).SpecNames()[0])
+	cfg := Config{
+		System:        config.Default(),
+		Plan:          Plan{Shards: k, Warmup: warmup, Measure: measure},
+		MetricsWindow: window,
+	}
+	res, err := Run(cfg, "windows", src, nil, harness.Options{})
+	if err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	return res
+}
+
+// TestStitchedWindowProperties: the stitched window series must be
+// gap-free, duplicate-free, and strictly monotonic in retired
+// instructions — in serial coordinates, exactly the windows the serial
+// run would have closed over the measured region.
+func TestStitchedWindowProperties(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates hundreds of thousands of instructions")
+	}
+	const (
+		k       = 4
+		warmup  = 20_000
+		measure = 120_000
+		window  = 10_000
+	)
+	res := windowedRun(t, k, warmup, measure, window)
+	if want := int(measure / window); len(res.Windows) != want {
+		t.Fatalf("stitched %d windows, want %d", len(res.Windows), want)
+	}
+	for i, rec := range res.Windows {
+		if rec.Window != uint64(i) {
+			t.Errorf("window %d numbered %d: series must be renumbered sequentially", i, rec.Window)
+		}
+		// Gap-free and duplicate-free: window i closes at exactly
+		// warmup + (i+1)·window in serial retired-instruction coordinates.
+		if want := arch.Instr(warmup + uint64(i+1)*window); rec.Retired != want {
+			t.Errorf("window %d closed at %d retired, want %d", i, rec.Retired, want)
+		}
+		if rec.Instr != arch.Instr(window) {
+			t.Errorf("window %d spans %d instructions, want %d", i, rec.Instr, window)
+		}
+		if i > 0 && rec.Retired <= res.Windows[i-1].Retired {
+			t.Errorf("window %d not monotonic: %d after %d", i, rec.Retired, res.Windows[i-1].Retired)
+		}
+	}
+}
+
+// TestStitchRejects: stitching must reject outcome sets that do not match
+// the plan instead of summing garbage.
+func TestStitchRejects(t *testing.T) {
+	cfg := Config{Plan: Plan{Shards: 2, Warmup: 10, Measure: 100}}
+	segs := cfg.Plan.Segments()
+	good := func() []harness.Outcome[*Payload] {
+		outs := make([]harness.Outcome[*Payload], len(segs))
+		for i, seg := range segs {
+			outs[i] = harness.Outcome[*Payload]{
+				Key:    "k",
+				Result: &Payload{Segment: seg, Stats: statsFor(seg)},
+			}
+		}
+		return outs
+	}
+	if _, err := Stitch(cfg, good()); err != nil {
+		t.Fatalf("valid outcomes rejected: %v", err)
+	}
+
+	short := good()[:1]
+	if _, err := Stitch(cfg, short); err == nil {
+		t.Error("short outcome set accepted")
+	}
+	failed := good()
+	failed[1].Err = errTest
+	if _, err := Stitch(cfg, failed); err == nil {
+		t.Error("failed shard accepted")
+	}
+	empty := good()
+	empty[0].Result = nil
+	if _, err := Stitch(cfg, empty); err == nil {
+		t.Error("nil payload accepted")
+	}
+	stale := good()
+	stale[1].Result.Segment.Offset++ // a checkpoint from a different plan
+	if _, err := Stitch(cfg, stale); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Errorf("stale-plan payload accepted: %v", err)
+	}
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "test error" }
+
+// statsFor fabricates a payload Sim for stitch unit tests.
+func statsFor(seg Segment) *stats.Sim {
+	s := stats.NewSim()
+	s.Cycles = arch.Cycle(seg.Measure * 2)
+	s.Instructions[0] = seg.Measure
+	s.STLB.Misses[0] = seg.Measure / 10
+	return s
+}
+
+// TestStitchSums: summation is exact — the stitched counters are the
+// field-wise sums of the shard counters and ratio metrics recompute from
+// them.
+func TestStitchSums(t *testing.T) {
+	cfg := Config{Plan: Plan{Shards: 3, Warmup: 5, Measure: 300}}
+	segs := cfg.Plan.Segments()
+	outs := make([]harness.Outcome[*Payload], len(segs))
+	for i, seg := range segs {
+		outs[i] = harness.Outcome[*Payload]{Result: &Payload{Segment: seg, Stats: statsFor(seg)}}
+	}
+	res, err := Stitch(cfg, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TotalInstructions() != 300 {
+		t.Errorf("instructions %d, want 300", res.Stats.TotalInstructions())
+	}
+	if res.Stats.Cycles != 600 {
+		t.Errorf("cycles %d, want 600", res.Stats.Cycles)
+	}
+	if res.IPC != 0.5 {
+		t.Errorf("IPC %f, want 0.5", res.IPC)
+	}
+	if got := res.Stats.STLB.Misses[0]; got != 30 {
+		t.Errorf("summed STLB misses %d, want 30", got)
+	}
+}
+
+// TestIndexReuse: retrieving the same (source, offsets) twice must return
+// fresh streams both times — consuming the first retrieval cannot perturb
+// the second — and the second retrieval must not redo the positioning
+// pass (observable: both retrievals produce identical sequences).
+func TestIndexReuse(t *testing.T) {
+	src := testSource(t, workload.NewCatalog(120, 20).ServerNames()[2])
+	ix := NewIndex()
+	offsets := []uint64{0, 5_000, 12_288}
+
+	first, err := ix.Streams(src, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the first retrieval completely before asking again.
+	drained := make([][]workload.Instr, len(first))
+	for i, s := range first {
+		drained[i] = make([]workload.Instr, 2048)
+		workload.FillBatch(s, drained[i])
+	}
+	second, err := ix.Streams(src, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range second {
+		got := make([]workload.Instr, 2048)
+		workload.FillBatch(s, got)
+		for j := range got {
+			if got[j] != drained[i][j] {
+				t.Fatalf("offset %d: cached snapshot perturbed at instr %d", offsets[i], j)
+			}
+		}
+	}
+}
+
+// opaque hides a stream's Cloner so the non-clonable fallback is
+// exercised with a real deterministic generator underneath.
+type opaque struct{ inner workload.Stream }
+
+func (o *opaque) Next(in *workload.Instr) bool { return o.inner.Next(in) }
+
+// TestIndexNonClonable: a non-clonable source still positions correctly
+// via the per-offset skip fallback, and is handed over uncached.
+func TestIndexNonClonable(t *testing.T) {
+	base := testSource(t, workload.NewCatalog(120, 20).SpecNames()[1])
+	src := Source{Name: "opaque", New: func() workload.Stream { return &opaque{inner: base.New()} }}
+	ix := NewIndex()
+	offsets := []uint64{100, 4_000}
+
+	streams, err := ix.Streams(src, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, off := range offsets {
+		want := make([]workload.Instr, int(off)+256)
+		workload.FillBatch(base.New(), want)
+		got := make([]workload.Instr, 256)
+		workload.FillBatch(streams[i], got)
+		for j := range got {
+			if got[j] != want[off:][j] {
+				t.Fatalf("offset %d: fallback positioning diverged at instr %d", off, j)
+			}
+		}
+	}
+}
+
+// TestPositionRejects: positioning errors are reported, not mangled.
+func TestPositionRejects(t *testing.T) {
+	src := testSource(t, workload.NewCatalog(120, 20).ServerNames()[0])
+	if _, _, err := position(src, []uint64{100, 50}); err == nil {
+		t.Error("descending offsets accepted")
+	}
+	nilSrc := Source{Name: "nil", New: func() workload.Stream { return nil }}
+	if _, _, err := position(nilSrc, []uint64{0}); err == nil {
+		t.Error("nil stream accepted")
+	}
+	short := Source{Name: "short", New: func() workload.Stream {
+		return workload.Limit(src.New(), 10)
+	}}
+	if _, _, err := position(short, []uint64{100}); err == nil {
+		t.Error("offset past stream end accepted")
+	}
+}

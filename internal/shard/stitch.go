@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"fmt"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/harness"
+	"itpsim/internal/metrics"
+	"itpsim/internal/stats"
+)
+
+// ShardResult is one shard's contribution to a stitched run, with its
+// supervision metadata.
+type ShardResult struct {
+	Segment  Segment
+	Stats    *stats.Sim
+	Beacon   *harness.BeaconStamp
+	Attempts int
+	Cached   bool
+}
+
+// Result is a stitched sharded run.
+type Result struct {
+	Plan Plan
+	// Stats is the field-wise sum of the per-shard measured statistics;
+	// ratio metrics (IPC, MPKI, hit rates) recompute correctly from the
+	// summed events because they are pure quotients of summed counters.
+	Stats *stats.Sim
+	// IPC is recomputed from the stitched totals.
+	IPC float64
+	// Windows is the stitched window series in serial coordinates:
+	// gap-free, duplicate-free, strictly monotonic in Retired, renumbered
+	// from zero. Empty when the run sampled no windows.
+	Windows []metrics.WindowRecord
+	// Shards holds the per-shard results in segment order.
+	Shards []ShardResult
+}
+
+// Beacon returns the run's deterministic-state fingerprint when the plan
+// makes one meaningful: only the degenerate 1-shard plan simulates the
+// exact serial machine state, so only it has a serial-comparable chain.
+func (r *Result) Beacon() *harness.BeaconStamp {
+	if len(r.Shards) == 1 {
+		return r.Shards[0].Beacon
+	}
+	return nil
+}
+
+// Stitch combines per-shard outcomes (as returned by harness.RunAll over
+// Jobs — an indexed slice in segment order, never map or channel-arrival
+// order) into one Result. It re-verifies each payload's segment against
+// the plan, so stale checkpoint payloads from a different plan are
+// rejected rather than summed.
+func Stitch(cfg Config, outs []harness.Outcome[*Payload]) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	segs := cfg.Plan.Segments()
+	if len(outs) != len(segs) {
+		return nil, fmt.Errorf("shard: %d outcomes for a %d-shard plan", len(outs), len(segs))
+	}
+	res := &Result{
+		Plan:   cfg.Plan,
+		Stats:  stats.NewSim(),
+		Shards: make([]ShardResult, len(segs)),
+	}
+	for i, out := range outs {
+		if out.Err != nil {
+			return nil, fmt.Errorf("shard %d (%s): %w", i, out.Key, out.Err)
+		}
+		p := out.Result
+		if p == nil || p.Stats == nil {
+			return nil, fmt.Errorf("shard %d (%s): empty payload", i, out.Key)
+		}
+		if p.Segment != segs[i] {
+			return nil, fmt.Errorf("shard %d: payload segment %+v does not match plan segment %+v (stale checkpoint?)", i, p.Segment, segs[i])
+		}
+		addSim(res.Stats, p.Stats)
+		if err := appendWindows(res, segs[i], p.Windows); err != nil {
+			return nil, err
+		}
+		res.Shards[i] = ShardResult{
+			Segment:  p.Segment,
+			Stats:    p.Stats,
+			Beacon:   out.Beacon,
+			Attempts: out.Attempts,
+			Cached:   out.Cached,
+		}
+	}
+	res.IPC = res.Stats.IPC()
+	return res, nil
+}
+
+// appendWindows rebases one shard's window series into serial
+// coordinates and appends it to the stitched series. Per-shard records
+// are cumulative from the shard's own stream start, so warmup windows
+// (Retired <= Warmup) are dropped and measured windows shift by the
+// shard's stream offset; the result is renumbered sequentially and
+// checked strictly monotonic at the seam.
+func appendWindows(res *Result, seg Segment, recs []metrics.WindowRecord) error {
+	for _, rec := range recs {
+		if rec.Retired <= arch.Instr(seg.Warmup) {
+			continue
+		}
+		rec.Retired += arch.Instr(seg.Offset)
+		rec.Window = uint64(len(res.Windows))
+		if n := len(res.Windows); n > 0 && rec.Retired <= res.Windows[n-1].Retired {
+			return fmt.Errorf("shard %d: stitched window series not monotonic (%d after %d)", seg.Index, rec.Retired, res.Windows[n-1].Retired)
+		}
+		res.Windows = append(res.Windows, rec)
+	}
+	return nil
+}
+
+// addSim accumulates src into dst field-wise. Every counter in stats.Sim
+// is a sum over measured events, so summation is exact; derived ratios
+// are recomputed by the callers of the stitched Sim exactly as they are
+// for a serial one.
+func addSim(dst, src *stats.Sim) {
+	dst.Cycles += src.Cycles
+	for i := range dst.Instructions {
+		dst.Instructions[i] += src.Instructions[i]
+	}
+	dl, sl := dst.Levels(), src.Levels()
+	for i := range dl {
+		addLevel(dl[i], sl[i])
+	}
+	dst.InstrTransCycles += src.InstrTransCycles
+	dst.DataTransCycles += src.DataTransCycles
+	for i := range dst.PageWalks {
+		dst.PageWalks[i] += src.PageWalks[i]
+		dst.WalkLatSum[i] += src.WalkLatSum[i]
+	}
+	for i := range dst.PSCHits {
+		dst.PSCHits[i] += src.PSCHits[i]
+	}
+	dst.XPTPEnabledWindows += src.XPTPEnabledWindows
+	dst.XPTPDisabledWindows += src.XPTPDisabledWindows
+	dst.DRAMAccesses += src.DRAMAccesses
+	dst.STLBPrefetches += src.STLBPrefetches
+}
+
+// addLevel accumulates one cache/TLB level into another.
+func addLevel(dst, src *stats.Level) {
+	for b := range dst.Hits {
+		dst.Hits[b] += src.Hits[b]
+		dst.Misses[b] += src.Misses[b]
+	}
+	dst.MissLatSum += src.MissLatSum
+	dst.MissLatCnt += src.MissLatCnt
+}

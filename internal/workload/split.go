@@ -1,0 +1,97 @@
+package workload
+
+// Stream splitting: the substrate of sharded simulation (internal/shard).
+// A sharded run positions K streams at staggered offsets of the same
+// serial instruction sequence; the only sound way to do that for a
+// stateful generator is to replay its state, not its output. Cloner
+// deep-copies a generator mid-flight so one forward pass over the serial
+// stream can snapshot every shard's start position; Skip is the
+// advance-and-discard fallback (and the positioning primitive the pass
+// itself uses). Both are cold paths — positioning happens once per shard,
+// not per instruction.
+
+// Cloner is implemented by streams whose complete generator state can be
+// deep-copied. A clone must produce exactly the same future instruction
+// sequence as its source, and consuming either stream must not perturb
+// the other. Wrappers whose inner stream is not clonable return nil.
+type Cloner interface {
+	Clone() Stream
+}
+
+// CloneStream deep-copies s when it supports cloning; ok is false when it
+// does not (including a wrapper over a non-clonable inner stream).
+func CloneStream(s Stream) (Stream, bool) {
+	c, isCloner := s.(Cloner)
+	if !isCloner {
+		return nil, false
+	}
+	out := c.Clone()
+	return out, out != nil
+}
+
+// Skip advances s by n instructions, discarding them, and returns how
+// many were actually consumed (short only when the stream ended). It uses
+// the stream's bulk path when available, so skipping runs at generator
+// speed, not at interface-call speed.
+func Skip(s Stream, n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	buf := make([]Instr, BatchSize)
+	bulk, hasBulk := s.(NextBatcher)
+	var skipped uint64
+	for skipped < n {
+		seg := buf
+		if want := n - skipped; want < uint64(len(buf)) {
+			seg = buf[:want]
+		}
+		var got int
+		if hasBulk {
+			got = bulk.NextBatch(seg)
+		} else {
+			got = FillBatch(s, seg)
+		}
+		skipped += uint64(got)
+		if got < len(seg) {
+			break
+		}
+	}
+	return skipped
+}
+
+// Clone implements Cloner. The rng and the call stack are the only
+// mutable pointer/slice state; the zipf samplers are immutable after
+// construction and safely shared (segZipf is created lazily, but a nil
+// copy re-creates it identically from the shared rng-derived state).
+func (s *server) Clone() Stream {
+	c := *s
+	r := *s.r
+	c.r = &r
+	c.callStack = make([]int, len(s.callStack), cap(s.callStack))
+	copy(c.callStack, s.callStack)
+	return &c
+}
+
+// Clone implements Cloner; the dZipf sampler is immutable and shared.
+func (s *spec) Clone() Stream {
+	c := *s
+	r := *s.r
+	c.r = &r
+	return &c
+}
+
+// Clone implements Cloner when the wrapped stream does.
+func (l *limited) Clone() Stream {
+	inner, ok := CloneStream(l.s)
+	if !ok {
+		return nil
+	}
+	return &limited{s: inner, left: l.left}
+}
+
+// Clone implements Cloner; the recorded instructions are read-only and
+// shared between the copies.
+func (r *Replay) Clone() Stream {
+	c := *r
+	return &c
+}
