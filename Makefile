@@ -92,7 +92,7 @@ bench:
 # speedup gate; ShardedRun reports the speedup metric only on hosts with
 # enough cores.
 bench-baseline:
-	{ $(GO) test -bench 'SimulatorThroughput|CacheAccess|STLBLookup|WorkloadGeneration|SerialRun|ShardedRun' -benchmem -benchtime 3x -run '^$$' . ; \
+	{ $(GO) test -bench 'SimulatorThroughput|CacheAccess|STLBLookup|WorkloadGeneration|SerialRun|ShardedRun|MultiCoreRun' -benchmem -benchtime 3x -run '^$$' . ; \
 	  $(GO) test -bench 'SteadyState' -benchmem -benchtime 20000x -run '^$$' ./internal/sim ; } \
 		| $(GO) run ./cmd/benchguard -record $(BENCH_BASELINE)
 

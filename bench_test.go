@@ -332,6 +332,41 @@ func BenchmarkShardedRun(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiCoreRun times a whole 4-core co-location run — four
+// tenant streams contending on the shared STLB/L2C/LLC/walker/DRAM with
+// per-tenant stats attribution live — and reports aggregate simulated
+// instruction throughput. The per-step allocation discipline of the CMP
+// loop is gated separately by BenchmarkSteadyStateStepMultiCore in
+// internal/sim.
+func BenchmarkMultiCoreRun(b *testing.B) {
+	const cores = 4
+	cat := workload.NewCatalog(8, 2)
+	names := cat.ServerNames()
+	cfg := config.Default()
+	cfg.Cores = cores
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streams := make([]workload.Stream, cores)
+		for j := range streams {
+			spec, err := cat.Get(names[j%len(names)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := workload.Prefetch(spec.NewStream())
+			defer p.Close()
+			streams[j] = p
+		}
+		if _, err := m.RunWarmup(streams, 20_000, 50_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cores*(20_000+50_000)*b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
 func BenchmarkWorkloadGeneration(b *testing.B) {
 	cat := workload.NewCatalog(4, 2)
 	spec, _ := cat.Get("srv_000")

@@ -7,6 +7,7 @@
 //	itpbench -fig fig8a
 //	itpbench -fig all -scale quick
 //	itpbench -fig fig13 -server 8 -measure 2000000
+//	itpbench -fig mc1 -cores 16 -scale quick
 package main
 
 import (
@@ -56,13 +57,14 @@ func writeCSV(dir, id string, res experiments.Result) error {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "experiment id (fig1 fig2 fig3 fig4 fig8a fig8b fig9 fig10 fig11 fig12 fig13 fig14 tab1 tab2) or 'all'")
+		fig     = flag.String("fig", "", "experiment id (fig1 fig2 fig3 fig4 fig8a fig8b fig9 fig10 fig11 fig12 fig13 fig14 tab1 tab2 mc1) or 'all'")
 		scale   = flag.String("scale", "default", "preset scale: quick or default")
 		server  = flag.Int("server", 0, "override: number of server workloads")
 		spec    = flag.Int("spec", 0, "override: number of SPEC-like workloads")
 		pairs   = flag.Int("pairs", 0, "override: SMT pairs per category")
 		warmup  = flag.Uint64("warmup", 0, "override: warmup instructions per thread")
 		measure = flag.Uint64("measure", 0, "override: measured instructions per thread")
+		cores   = flag.Int("cores", 0, "CMP width for the multi-core co-location study (mc1); 0 = its default of 4")
 		par     = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		shards  = flag.Int("shards", 1, "split each single-workload simulation into this many parallel segments (1 = serial; error bounds in DESIGN.md §12)")
 		csvDir  = flag.String("csv", "", "also write <dir>/<fig>.csv for each experiment")
@@ -100,6 +102,9 @@ func main() {
 	}
 	if *measure > 0 {
 		o.Measure = *measure
+	}
+	if *cores > 0 {
+		o.Cores = *cores
 	}
 	o.Parallelism = *par
 	o.Shards = *shards

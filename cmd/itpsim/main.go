@@ -9,6 +9,7 @@
 //	itpsim -workload srv_000
 //	itpsim -workload srv_000 -stlb itp -l2c xptp -n 2000000
 //	itpsim -workload srv_000 -smt srv_001 -stlb itp -l2c xptp
+//	itpsim -workload srv_000,srv_001 -cores 4 -stlb itp -l2c xptp
 //	itpsim -workload srv_000,srv_001,spec_000 -checkpoint run.ckpt
 //	itpsim -workload srv_000,srv_001 -retries 2 -job-timeout 10m
 //	itpsim -list
@@ -43,6 +44,7 @@ func main() {
 	var (
 		workloadName = flag.String("workload", "srv_000", "catalogue workload(s) to run, comma-separated")
 		smtPartner   = flag.String("smt", "", "co-run this second workload on thread 1 (single-workload mode only)")
+		coresN       = flag.Int("cores", 0, "simulate a CMP with this many cores, one tenant per core; -workload names are cycled to fill the cores (0/1 = single core)")
 		tracePath    = flag.String("trace", "", "run a recorded trace file instead of a catalogue workload")
 		stlbPol      = flag.String("stlb", "lru", "STLB policy: lru, itp, chirp, problru")
 		l2cPol       = flag.String("l2c", "lru", "L2C policy: lru, xptp, xptp-static, ptp, tdrrip, drrip, srrip, ship, mockingjay")
@@ -104,6 +106,19 @@ func main() {
 	cfg.SplitSTLB = *splitSTLB
 	cfg.HugePageFraction = *hugeFrac
 	cfg.ProbKeepInstr = *probP
+	if *coresN > 0 {
+		cfg.Cores = *coresN
+	}
+	if cfg.Cores > 1 {
+		switch {
+		case *smtPartner != "":
+			fatal(fmt.Errorf("-smt is a single-core mode; it cannot combine with -cores %d", cfg.Cores))
+		case *shards > 1:
+			fatal(fmt.Errorf("-shards splits one stream; multi-core runs (-cores %d) must run whole", cfg.Cores))
+		case *tracePath != "":
+			fatal(fmt.Errorf("-cores needs catalogue workloads; recorded traces are single-stream"))
+		}
+	}
 
 	if *dumpConfig {
 		data, err := cfg.MarshalPretty()
@@ -223,7 +238,7 @@ func main() {
 			&chaos.Error{Kind: chaos.ReadFault, Op: "ingest", Off: int64(at)})
 	}
 
-	if *tracePath == "" && len(names) > 1 {
+	if *tracePath == "" && len(names) > 1 && cfg.Cores <= 1 {
 		if *smtPartner != "" {
 			fatal(fmt.Errorf("-smt requires a single -workload"))
 		}
@@ -249,9 +264,9 @@ func main() {
 	// Single-run mode (catalogue workload, SMT pair, or recorded trace):
 	// still supervised, with the full statistics report on success.
 	var mkStreams func() ([]workload.Stream, []string, error)
-	key := fmt.Sprintf("itpsim|%s|%s/%s/%s|h%.2f|%d/%d",
+	key := fmt.Sprintf("itpsim|%s|%s/%s/%s|h%.2f|c%d|%d/%d",
 		*workloadName+"+"+*smtPartner, cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy,
-		cfg.HugePageFraction, *warmup, *measure)
+		cfg.HugePageFraction, cfg.Cores, *warmup, *measure)
 	if *tracePath != "" {
 		key = fmt.Sprintf("itpsim|trace:%s|%s/%s/%s|%d/%d",
 			*tracePath, cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy, *warmup, *measure)
@@ -266,6 +281,22 @@ func main() {
 				return nil, nil, harness.Permanent(err)
 			}
 			return []workload.Stream{r}, []string{*tracePath}, nil
+		}
+	} else if cfg.Cores > 1 {
+		// Multi-core mode: one stream per core, cycling the -workload list
+		// so a short list still fills every core with a tenant.
+		mkStreams = func() ([]workload.Stream, []string, error) {
+			streams := make([]workload.Stream, cfg.Cores)
+			labels := make([]string, cfg.Cores)
+			for i := range streams {
+				spec, err := cat.Get(names[i%len(names)])
+				if err != nil {
+					return nil, nil, harness.Permanent(err)
+				}
+				streams[i] = spec.NewStream()
+				labels[i] = spec.Name
+			}
+			return streams, labels, nil
 		}
 	} else {
 		mkStreams = func() ([]workload.Stream, []string, error) {
@@ -327,6 +358,19 @@ func main() {
 	fmt.Printf("workloads: %v\npolicies: STLB=%s L2C=%s LLC=%s\nwarmup=%d measure=%d per thread\n\n",
 		labels, cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy, *warmup, *measure)
 	fmt.Print(s)
+	if cfg.Cores > 1 && len(s.Cores) >= cfg.Cores {
+		fmt.Printf("\n%-4s %-12s %8s %12s %9s %9s\n", "core", "tenant", "IPC", "instr", "STLB-MPKI", "L1D-MPKI")
+		for i := 0; i < cfg.Cores; i++ {
+			ten := &s.Cores[i]
+			label := "-"
+			if i < len(labels) {
+				label = labels[i]
+			}
+			fmt.Printf("%-4d %-12s %8.4f %12d %9.3f %9.3f\n",
+				i, label, ten.IPC(), ten.Instructions,
+				ten.STLB.MPKI(ten.Instructions), ten.L1D.MPKI(ten.Instructions))
+		}
+	}
 	if b := outs[0].Beacon; b != nil {
 		fmt.Printf("\nbeacon chain: %016x over %d beacons\n", b.Chain, b.Count)
 	}

@@ -81,6 +81,7 @@ func main() {
 		llcPol    = flag.String("llc", "lru", "LLC policy")
 		warmup    = flag.Uint64("warmup", 500_000, "warmup instructions")
 		measure   = flag.Uint64("n", 1_500_000, "measured instructions")
+		coresN    = flag.Int("cores", 0, "run each grid point on a CMP with this many cores, every core running a copy of the point's workload (0/1 = single core)")
 
 		metricsOut    = flag.String("metrics-out", "", "write per-window metrics series (JSON lines, all jobs share the file) to this file")
 		metricsWindow = flag.Uint64("metrics-window", 0, "metrics sampling window in retired instructions (0 = each job's adaptive controller window when one exists, else 1000)")
@@ -115,6 +116,10 @@ func main() {
 	}
 	if len(vals) == 0 {
 		fmt.Fprintln(os.Stderr, "itpsweep: -values required")
+		os.Exit(2)
+	}
+	if *coresN > 1 && *shards > 1 {
+		fmt.Fprintln(os.Stderr, "itpsweep: -shards splits one stream; multi-core points (-cores > 1) must run whole")
 		os.Exit(2)
 	}
 	var names []string
@@ -285,7 +290,7 @@ func main() {
 			cat: cat, mutate: mutate, attachMetrics: attachMetrics, hopts: hopts,
 			param: *param, vals: vals, names: names,
 			stlb: *stlbPol, l2c: *l2cPol, llc: *llcPol,
-			warmup: *warmup, measure: *measure,
+			warmup: *warmup, measure: *measure, cores: *coresN,
 			beaconEvery: *beaconEvery, auditOn: *auditOn,
 		}, func(v float64, name string) { pts = append(pts, point{v, name}) })
 	}
@@ -342,6 +347,7 @@ type serialSweep struct {
 	llc           string
 	warmup        uint64
 	measure       uint64
+	cores         int
 	beaconEvery   uint64
 	auditOn       bool
 }
@@ -354,8 +360,8 @@ func runSerialSweep(s serialSweep, addPoint func(v float64, name string)) ([]har
 			v, name := v, name
 			addPoint(v, name)
 			jobs = append(jobs, harness.Job[*stats.Sim]{
-				Key: fmt.Sprintf("sweep|%s=%g|%s|%s/%s/%s|%d/%d",
-					s.param, v, name, s.stlb, s.l2c, s.llc, s.warmup, s.measure),
+				Key: fmt.Sprintf("sweep|%s=%g|%s|%s/%s/%s|c%d|%d/%d",
+					s.param, v, name, s.stlb, s.l2c, s.llc, s.cores, s.warmup, s.measure),
 				Run: func(jc *harness.JobContext) (*stats.Sim, error) {
 					spec, err := s.cat.Get(name)
 					if err != nil {
@@ -367,6 +373,9 @@ func runSerialSweep(s serialSweep, addPoint func(v float64, name string)) ([]har
 					cfg.LLCPolicy = s.llc
 					if err := s.mutate(&cfg, v); err != nil {
 						return nil, harness.Permanent(err)
+					}
+					if s.cores > 1 {
+						cfg.Cores = s.cores
 					}
 					m, err := sim.NewMachine(cfg)
 					if err != nil {
@@ -380,9 +389,17 @@ func runSerialSweep(s serialSweep, addPoint func(v float64, name string)) ([]har
 						m.EnableAudit(0)
 					}
 					s.attachMetrics(m, fmt.Sprintf("%s=%g/%s", s.param, v, name))
-					p := workload.Prefetch(spec.NewStream())
-					defer p.Close()
-					res, err := m.RunWarmup([]workload.Stream{p}, s.warmup, s.measure)
+					// One stream per core: every core runs its own copy of
+					// the point's workload, so the sweep measures the shared
+					// hierarchy under homogeneous N-tenant pressure.
+					nStreams := m.Cores()
+					streams := make([]workload.Stream, nStreams)
+					for i := range streams {
+						p := workload.Prefetch(spec.NewStream())
+						defer p.Close()
+						streams[i] = p
+					}
+					res, err := m.RunWarmup(streams, s.warmup, s.measure)
 					if err != nil {
 						return nil, err
 					}

@@ -1,7 +1,11 @@
-// Smtcolocation: evaluate the paper's proposal under workload co-location
-// (Section 5.1's SMT model): two hardware threads share the fetch engine,
-// TLBs, caches, page walkers, and DRAM. The example runs one pair per
-// co-location category and compares LRU, TDRRIP, and iTP+xPTP.
+// Smtcolocation: evaluate the paper's proposal under workload
+// co-location on the multi-core API: each pair runs as a 2-core CMP
+// (private L1s, ITLB, DTLB, and branch predictor per core; shared STLB,
+// L2C, LLC, page walker, and DRAM), one tenant per core. The example
+// runs one pair per co-location category and reports, for LRU and
+// iTP+xPTP, the per-tenant IPC, each tenant's slowdown against its solo
+// run on an otherwise-idle machine, and the fairness index (min/max
+// slowdown; 1 = interference hits both tenants equally).
 package main
 
 import (
@@ -10,50 +14,73 @@ import (
 
 	"itpsim/internal/config"
 	"itpsim/internal/sim"
+	"itpsim/internal/stats"
 	"itpsim/internal/workload"
 )
+
+const (
+	warmup  = 500_000
+	measure = 1_500_000
+)
+
+// run simulates the named tenants — one per core when len(names) > 1,
+// solo on a single core otherwise — and returns the measured statistics.
+func run(catalog *workload.Catalog, names []string, stlb, l2c string) *stats.Sim {
+	cfg := config.Default()
+	cfg.STLBPolicy = stlb
+	cfg.L2CPolicy = l2c
+	if len(names) > 1 {
+		cfg.Cores = len(names)
+	}
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	streams := make([]workload.Stream, len(names))
+	for i, n := range names {
+		spec, err := catalog.Get(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		streams[i] = spec.NewStream()
+	}
+	res, err := m.RunWarmup(streams, warmup, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Stats
+}
 
 func main() {
 	catalog := workload.NewCatalog(120, 20)
 	pairs := catalog.SMTPairs(1) // one pair per category
 
-	const (
-		warmup  = 500_000
-		measure = 1_500_000
-	)
-
-	run := func(p workload.Pair, stlb, l2c string) float64 {
-		a, err := catalog.Get(p.A)
-		if err != nil {
-			log.Fatal(err)
+	fmt.Println("2-core CMP co-location study (per-tenant IPC, slowdown vs solo, fairness)")
+	for _, policies := range [][2]string{{"lru", "lru"}, {"itp", "xptp"}} {
+		stlb, l2c := policies[0], policies[1]
+		fmt.Printf("\nSTLB=%s L2C=%s\n", stlb, l2c)
+		fmt.Printf("%-12s %-12s %8s %8s %9s %9s\n",
+			"category", "tenant", "IPC", "solo", "slowdown", "fairness")
+		for _, p := range pairs {
+			coloc := run(catalog, []string{p.A, p.B}, stlb, l2c)
+			slow := [2]float64{}
+			for i, name := range []string{p.A, p.B} {
+				solo := run(catalog, []string{name}, stlb, l2c)
+				ten := &coloc.Cores[i]
+				if ipc := ten.IPC(); ipc > 0 {
+					slow[i] = solo.IPC() / ipc
+				}
+				fmt.Printf("%-12s %-12s %8.4f %8.4f %8.2fx\n",
+					p.Category, name, ten.IPC(), solo.IPC(), slow[i])
+			}
+			fairness := 0.0
+			if mx := max(slow[0], slow[1]); mx > 0 {
+				fairness = min(slow[0], slow[1]) / mx
+			}
+			fmt.Printf("%-12s %-12s %8.4f %8s %9s %9.3f\n",
+				p.Category, "AGGREGATE", coloc.IPC(), "-", "-", fairness)
 		}
-		b, err := catalog.Get(p.B)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cfg := config.Default()
-		cfg.STLBPolicy = stlb
-		cfg.L2CPolicy = l2c
-		m, err := sim.NewMachine(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := m.RunWarmup([]workload.Stream{a.NewStream(), b.NewStream()}, warmup, measure)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res.IPC
-	}
-
-	fmt.Println("SMT co-location study (combined IPC of both hardware threads)")
-	fmt.Printf("\n%-12s %-22s %8s %10s %10s\n", "category", "pair", "LRU", "TDRRIP", "iTP+xPTP")
-	for _, p := range pairs {
-		base := run(p, "lru", "lru")
-		tdrrip := run(p, "lru", "tdrrip")
-		prop := run(p, "itp", "xptp")
-		fmt.Printf("%-12s %-22s %8.4f %+9.1f%% %+9.1f%%\n",
-			p.Category, p.A+"+"+p.B, base,
-			100*(tdrrip/base-1), 100*(prop/base-1))
 	}
 	fmt.Println("\nintense = two high-STLB-pressure workloads; medium = high+medium; relaxed = high+low")
+	fmt.Println("slowdown = solo IPC / co-located IPC; fairness = min/max slowdown")
 }

@@ -135,7 +135,18 @@ type SystemConfig struct {
 
 	// SMT enables the two-hardware-thread core model.
 	SMT bool `json:"smt"`
+
+	// Cores selects the CMP width: N cores with private L1s, first-level
+	// TLBs, and branch predictors contending on the shared STLB, L2C,
+	// LLC, page-table walker, and DRAM. 0 and 1 both mean the classic
+	// single-core machine (which still supports the 2-thread SMT mode);
+	// Cores > 1 requires exactly one workload stream per core.
+	Cores int `json:"cores"`
 }
+
+// MaxCores bounds the CMP width: tenant ids travel the hierarchy as
+// uint8 thread tags and the CHiRP history file is sized to match.
+const MaxCores = 64
 
 // Default returns the Table 1 configuration.
 func Default() SystemConfig {
@@ -259,6 +270,12 @@ func (c *SystemConfig) Validate() error {
 	}
 	if c.BranchPredictor != "" && c.BranchPredictor != "fixed" && c.BranchPredictor != "perceptron" {
 		return fmt.Errorf("config: unknown BranchPredictor %q", c.BranchPredictor)
+	}
+	if c.Cores < 0 || c.Cores > MaxCores {
+		return fmt.Errorf("config: Cores=%d out of [0,%d]", c.Cores, MaxCores)
+	}
+	if c.SMT && c.Cores > 1 {
+		return fmt.Errorf("config: SMT is a single-core mode; it cannot combine with Cores=%d", c.Cores)
 	}
 	return nil
 }

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"itpsim/internal/config"
+)
+
+// TestMC1Shape: the co-location study produces, per policy quadrant, one
+// row per tenant (each slower than solo) plus an aggregate row whose
+// fairness is the min/max slowdown ratio.
+func TestMC1Shape(t *testing.T) {
+	o := tiny()
+	o.Cores = 2
+	res, err := MC1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perQuadrant := make(map[string]struct {
+		tenants    int
+		aggregates int
+	})
+	for _, r := range res.Rows {
+		q := perQuadrant[r.Series]
+		if r.Label == "AGGREGATE" {
+			q.aggregates++
+			fair := r.Extra["fairness"]
+			if fair <= 0 || fair > 1 {
+				t.Errorf("%s: fairness %.4f outside (0, 1]", r.Series, fair)
+			}
+			if r.Extra["min_slowdown"] > r.Extra["max_slowdown"] {
+				t.Errorf("%s: min slowdown %.4f above max %.4f",
+					r.Series, r.Extra["min_slowdown"], r.Extra["max_slowdown"])
+			}
+			if r.Extra["stlb_mpki"] <= 0 {
+				t.Errorf("%s: aggregate STLB MPKI %.4f not positive", r.Series, r.Extra["stlb_mpki"])
+			}
+		} else {
+			q.tenants++
+			if r.Extra["slowdown"] <= 1 {
+				t.Errorf("%s %s: slowdown %.4f should exceed 1 under co-location",
+					r.Series, r.Label, r.Extra["slowdown"])
+			}
+			if r.Value >= r.Extra["solo_ipc"] {
+				t.Errorf("%s %s: co-located IPC %.4f not below solo %.4f",
+					r.Series, r.Label, r.Value, r.Extra["solo_ipc"])
+			}
+		}
+		perQuadrant[r.Series] = q
+	}
+	if len(perQuadrant) != 4 {
+		t.Fatalf("expected 4 policy quadrants, got %d: %v", len(perQuadrant), perQuadrant)
+	}
+	for series, q := range perQuadrant {
+		if q.tenants != 2 || q.aggregates != 1 {
+			t.Errorf("%s: %d tenant rows + %d aggregate rows, want 2 + 1", series, q.tenants, q.aggregates)
+		}
+	}
+}
+
+// TestMC1RejectsOversizedCMP: the study refuses core counts beyond the
+// config ceiling instead of silently clamping.
+func TestMC1RejectsOversizedCMP(t *testing.T) {
+	o := tiny()
+	o.Cores = config.MaxCores + 1
+	if _, err := MC1(o); err == nil {
+		t.Fatal("expected an error for Cores above config.MaxCores")
+	}
+}

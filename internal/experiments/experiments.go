@@ -40,6 +40,12 @@ type Options struct {
 	// Warmup/Measure are instructions per hardware thread.
 	Warmup  uint64
 	Measure uint64
+	// Cores sets the CMP width of the multi-core co-location study
+	// ("mc1"): N cores with private L1s/ITLB/DTLB contending on the
+	// shared STLB/L2C/LLC/walker/DRAM, one tenant workload per core.
+	// 0 selects the study's default width (4); the paper-style sweep
+	// runs it at 4, 16, and 64. Other experiments ignore it.
+	Cores int
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
 	// Shards > 1 splits every single-workload simulation into that many
@@ -221,11 +227,11 @@ type job struct {
 }
 
 func (r *runner) newJob(names []string, cfg config.SystemConfig, tag string) job {
-	key := fmt.Sprintf("%s|%s|%s/%s/%s|h%.2f|i%d|s%d|split%v|%d/%d",
+	key := fmt.Sprintf("%s|%s|%s/%s/%s|h%.2f|i%d|s%d|split%v|c%d|%d/%d",
 		tag, strings.Join(names, "+"),
 		cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy,
 		cfg.HugePageFraction, cfg.ITLB.Entries(), cfg.STLB.Entries(), cfg.SplitSTLB,
-		r.o.Warmup, r.o.Measure)
+		cfg.Cores, r.o.Warmup, r.o.Measure)
 	return job{key: key, names: names, cfg: cfg, warmup: r.o.Warmup, measure: r.o.Measure}
 }
 
@@ -492,6 +498,7 @@ var registry = map[string]func(Options) (Result, error){
 	"tab2":  Tab2,
 	"tab3":  Tab3,
 	"ext1":  Ext1,
+	"mc1":   MC1,
 }
 
 // WriteCSV renders a result as CSV (figure,series,label,value) so plots

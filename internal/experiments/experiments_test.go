@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -28,7 +29,7 @@ func tiny() Options {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ext1", "fig1", "fig2", "fig3", "fig4", "fig8a", "fig8b",
-		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "tab1", "tab2", "tab3"}
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "mc1", "tab1", "tab2", "tab3"}
 	have := All()
 	if len(have) != len(want) {
 		t.Fatalf("registry has %d entries, want %d: %v", len(have), len(want), have)
@@ -428,7 +429,7 @@ func TestShardedRunAllMatchesSerial(t *testing.T) {
 			t.Errorf("job %d: %d instructions, serial %d", i, gi, wi)
 		}
 	}
-	if *got[1] != *want[1] {
+	if !reflect.DeepEqual(got[1], want[1]) {
 		t.Error("pair job runs whole and must match the serial run exactly")
 	}
 	if got[2] != got[0] {

@@ -3,6 +3,7 @@ package shard
 import (
 	"math"
 	"os"
+	"reflect"
 	"testing"
 
 	"itpsim/internal/arch"
@@ -208,7 +209,7 @@ func TestOneShardExact(t *testing.T) {
 			if err != nil {
 				t.Fatalf("1-shard run: %v", err)
 			}
-			if *res.Stats != *serial {
+			if !reflect.DeepEqual(res.Stats, serial) {
 				t.Errorf("1-shard stats differ from serial:\nshard:  %vserial: %v", res.Stats, serial)
 			}
 			stamp := res.Beacon()

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"itpsim/internal/config"
@@ -87,7 +88,7 @@ func TestResumePartialShardSets(t *testing.T) {
 					done, i, sh.Beacon.Chain, sh.Beacon.Count, want.Chain, want.Count)
 			}
 		}
-		if *res.Stats != *ref.Stats {
+		if !reflect.DeepEqual(res.Stats, ref.Stats) {
 			t.Errorf("subset %v: resumed stitched stats differ from uninterrupted run", done)
 		}
 		if res.IPC != ref.IPC {

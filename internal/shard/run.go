@@ -38,6 +38,12 @@ func (c Config) validate() error {
 	if err := c.Plan.Validate(); err != nil {
 		return err
 	}
+	if c.System.Cores > 1 {
+		// A sharded run splits ONE stream's measured region; a CMP run
+		// interleaves N streams whose interference must be simulated
+		// whole (like SMT pairs, which the callers also run unsharded).
+		return fmt.Errorf("shard: multi-core runs (Cores=%d) must run whole; sharding splits a single stream", c.System.Cores)
+	}
 	if w := c.MetricsWindow; w > 0 {
 		if c.Plan.Warmup%w != 0 {
 			return fmt.Errorf("shard: warmup %d is not a multiple of the %d-instruction metrics window", c.Plan.Warmup, w)

@@ -118,8 +118,21 @@ func appendWindows(res *Result, seg Segment, recs []metrics.WindowRecord) error 
 // for a serial one.
 func addSim(dst, src *stats.Sim) {
 	dst.Cycles += src.Cycles
-	for i := range dst.Instructions {
+	dst.EnsureTenants(len(src.Instructions))
+	dst.EnsureTenants(len(src.Cores))
+	for i := range src.Instructions {
 		dst.Instructions[i] += src.Instructions[i]
+	}
+	for i := range src.Cores {
+		sc, dc := &src.Cores[i], &dst.Cores[i]
+		dc.Instructions += sc.Instructions
+		dc.Cycles += sc.Cycles
+		dcl, scl := dc.Levels(), sc.Levels()
+		for j := range dcl {
+			dcl[j].Add(scl[j])
+		}
+		dc.InstrTransCycles += sc.InstrTransCycles
+		dc.DataTransCycles += sc.DataTransCycles
 	}
 	dl, sl := dst.Levels(), src.Levels()
 	for i := range dl {

@@ -134,39 +134,44 @@ func (m *Machine) emitBeacon(retired arch.Instr) {
 	}
 }
 
-// hashState folds every architectural structure in a fixed order: the
-// pipeline contexts, branch-predictor state, STLB MSHRs, the TLB and
-// cache hierarchies, the page walker, DRAM timing state, and the
+// hashState folds every architectural structure in a fixed order: per
+// core its branch-predictor state and pipeline contexts, then the shared
+// STLB MSHRs, the first-level TLBs, the shared STLB, the private L1s,
+// the shared caches, the page walker, DRAM timing state, and the
 // adaptive controller. Policy-private heuristic tables (SHiP counters,
 // CHiRP confidence, ...) are observed through their effects on the
-// hashed tag arrays rather than folded directly.
+// hashed tag arrays rather than folded directly. For a 1-core machine
+// this fold order is exactly the historical serial one, which keeps
+// single-core beacon chains bit-identical across the CMP refactor.
 func (m *Machine) hashState(h *arch.StateHash) {
-	h.Word(m.bpRNG)
-	if m.perceptron != nil {
-		m.perceptron.HashState(h)
-	}
-	for _, t := range m.threads {
-		h.Word(uint64(t.id))
-		h.Word(t.retired)
-		h.Word(t.fetchCycle)
-		h.Word(t.fetchReady)
-		h.Word(uint64(t.fetchBlock))
-		h.Bool(t.refetch)
-		h.Word(uint64(t.fetchSub))
-		h.Word(uint64(t.fdipCursor))
-		h.Word(uint64(t.fdipBlock))
-		for _, rt := range t.robRing {
-			h.Word(rt)
+	for _, c := range m.cores {
+		h.Word(c.bpRNG)
+		if c.perceptron != nil {
+			c.perceptron.HashState(h)
 		}
-		h.Word(uint64(t.robPos))
-		for _, dt := range t.ftqRing {
-			h.Word(dt)
+		for _, t := range c.threads {
+			h.Word(uint64(t.id))
+			h.Word(t.retired)
+			h.Word(t.fetchCycle)
+			h.Word(t.fetchReady)
+			h.Word(uint64(t.fetchBlock))
+			h.Bool(t.refetch)
+			h.Word(uint64(t.fetchSub))
+			h.Word(uint64(t.fdipCursor))
+			h.Word(uint64(t.fdipBlock))
+			for _, rt := range t.robRing {
+				h.Word(rt)
+			}
+			h.Word(uint64(t.robPos))
+			for _, dt := range t.ftqRing {
+				h.Word(dt)
+			}
+			h.Word(uint64(t.ftqPos))
+			h.Word(t.lastRetire)
+			h.Word(uint64(t.retireSub))
+			h.Word(t.lastLoadDone)
+			h.Bool(t.done)
 		}
-		h.Word(uint64(t.ftqPos))
-		h.Word(t.lastRetire)
-		h.Word(uint64(t.retireSub))
-		h.Word(t.lastLoadDone)
-		h.Bool(t.done)
 	}
 	for i := range m.stlbMSHRs {
 		e := &m.stlbMSHRs[i]
@@ -178,13 +183,17 @@ func (m *Machine) hashState(h *arch.StateHash) {
 		h.Word(e.ppn)
 		h.Word(uint64(e.bits))
 	}
-	m.itlb.HashState(h)
-	m.dtlb.HashState(h)
+	for _, c := range m.cores {
+		c.itlb.HashState(h)
+		c.dtlb.HashState(h)
+	}
 	if sh, ok := m.stlb.(arch.StateHasher); ok {
 		sh.HashState(h)
 	}
-	m.l1i.HashState(h)
-	m.l1d.HashState(h)
+	for _, c := range m.cores {
+		c.l1i.HashState(h)
+		c.l1d.HashState(h)
+	}
 	m.l2c.HashState(h)
 	m.llc.HashState(h)
 	m.walker.HashState(h)
@@ -206,13 +215,17 @@ func (m *Machine) EnableAudit(interval uint64) {
 	}
 	a := &audit.Auditor{}
 	a.Register("machine", machineCheck{m})
-	a.Register("itlb", m.itlb)
-	a.Register("dtlb", m.dtlb)
+	for _, c := range m.cores {
+		a.Register(m.coreComponent(c.id, "itlb"), c.itlb)
+		a.Register(m.coreComponent(c.id, "dtlb"), c.dtlb)
+	}
 	if c, ok := m.stlb.(audit.Checkable); ok {
 		a.Register("stlb", c)
 	}
-	a.Register("l1i", m.l1i)
-	a.Register("l1d", m.l1d)
+	for _, c := range m.cores {
+		a.Register(m.coreComponent(c.id, "l1i"), c.l1i)
+		a.Register(m.coreComponent(c.id, "l1d"), c.l1d)
+	}
 	a.Register("l2c", m.l2c)
 	a.Register("llc", m.llc)
 	a.Register("ptw", m.walker)
@@ -301,7 +314,7 @@ func (mc machineCheck) AuditState(r *audit.Report) {
 		}
 	}
 	m.visitTLBs(func(name string, e *tlb.Entry) {
-		tr := m.pts[e.Thread&1].Translate(arch.Addr(e.VPN) << e.PageBits)
+		tr := m.pts[e.Thread].Translate(arch.Addr(e.VPN) << e.PageBits)
 		if tr.PPN != e.PPN || tr.PageBits != e.PageBits {
 			r.Violatef("pagetable-coherence",
 				"%s entry vpn=%#x/%d t%d: cached ppn %#x, page table says ppn %#x size %d",
@@ -310,11 +323,24 @@ func (mc machineCheck) AuditState(r *audit.Report) {
 	})
 }
 
+// coreComponent names a per-core component for audit registration and
+// diagnostics: the historical bare name on a single-core machine, a
+// core-prefixed one on a CMP. Cold path only (registration, audits).
+func (m *Machine) coreComponent(core uint8, base string) string {
+	if len(m.cores) == 1 {
+		return base
+	}
+	return fmt.Sprintf("core%d.%s", core, base)
+}
+
 // visitTLBs walks every valid entry of every TLB level, tagged with the
-// level name, in a fixed order.
+// level name, in a fixed order (cores ascending, then the shared STLB).
 func (m *Machine) visitTLBs(fn func(name string, e *tlb.Entry)) {
-	m.itlb.VisitEntries(func(e *tlb.Entry) { fn("itlb", e) })
-	m.dtlb.VisitEntries(func(e *tlb.Entry) { fn("dtlb", e) })
+	for _, c := range m.cores {
+		in, dn := m.coreComponent(c.id, "itlb"), m.coreComponent(c.id, "dtlb")
+		c.itlb.VisitEntries(func(e *tlb.Entry) { fn(in, e) })
+		c.dtlb.VisitEntries(func(e *tlb.Entry) { fn(dn, e) })
+	}
 	type visitor interface{ VisitEntries(func(e *tlb.Entry)) }
 	if v, ok := m.stlb.(visitor); ok {
 		v.VisitEntries(func(e *tlb.Entry) { fn("stlb", e) })

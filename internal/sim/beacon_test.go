@@ -332,7 +332,7 @@ func TestAuditDetectsPageTableIncoherence(t *testing.T) {
 		t.Fatal(err)
 	}
 	poisoned := false
-	m.itlb.VisitEntries(func(e *tlb.Entry) {
+	m.cores[0].itlb.VisitEntries(func(e *tlb.Entry) {
 		if !poisoned {
 			e.PPN ^= 0x5555
 			poisoned = true
@@ -368,7 +368,7 @@ func TestAuditDetectsStackCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	poisoned := false
-	m.dtlb.VisitEntries(func(e *tlb.Entry) {
+	m.cores[0].dtlb.VisitEntries(func(e *tlb.Entry) {
 		if !poisoned {
 			e.Stack = 200 // far outside any associativity
 			poisoned = true

@@ -39,12 +39,45 @@ func newSteadyMachine(b *testing.B, instrument, beacons bool, mutate func(*confi
 	if beacons {
 		m.EnableBeacons(0)
 	}
-	t := newThreadCtx(0, spec.NewStream(), &m.cfg, 1, math.MaxUint64)
+	t := newThreadCtx(m.cores[0], 0, spec.NewStream(), &m.cfg, 1, math.MaxUint64)
 	m.threads = []*threadCtx{t}
+	m.cores[0].threads = m.threads
 	for i := 0; i < 50_000; i++ {
 		m.step(t)
 	}
 	return m, t
+}
+
+// newSteadyMultiCore builds a 4-core CMP with one warmed thread per core,
+// for the multi-core steady-state allocation gate: the measured loop
+// steps the cores round-robin, so every private structure and every
+// shared-hierarchy contention path (STLB, L2C, LLC, walker MSHRs, DRAM)
+// is exercised with zero heap allocations per op.
+func newSteadyMultiCore(b *testing.B) (*Machine, []*threadCtx) {
+	b.Helper()
+	cat := workload.NewCatalog(8, 2)
+	cfg := config.Default()
+	cfg.Cores = 4
+	m, err := NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := cat.ServerNames()
+	threads := make([]*threadCtx, cfg.Cores)
+	for i := range threads {
+		spec, err := cat.Get(names[i%len(names)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := newThreadCtx(m.cores[i], uint8(i), spec.NewStream(), &m.cfg, 1, math.MaxUint64)
+		m.cores[i].threads = []*threadCtx{t}
+		threads[i] = t
+	}
+	m.threads = threads
+	for i := 0; i < 200_000; i++ {
+		m.step(threads[i&3])
+	}
+	return m, threads
 }
 
 // Hot-path gate manifest: which //itp:hotpath functions each
@@ -99,11 +132,12 @@ var (
 	// internal/lint's gate-coverage test parses this table syntactically,
 	// so keep entries as identifier references to the slices above.
 	hotpathGateManifest = map[string][]string{
-		"BenchmarkSteadyStateStep":        hotpathCommon,
-		"BenchmarkSteadyStateStepMetrics": hotpathMetrics,
-		"BenchmarkSteadyStateStepITPXPTP": hotpathITPXPTP,
-		"BenchmarkSteadyStateStepCHiRP":   hotpathCHiRP,
-		"BenchmarkSteadyStateStepBeacons": hotpathBeacons,
+		"BenchmarkSteadyStateStep":          hotpathCommon,
+		"BenchmarkSteadyStateStepMetrics":   hotpathMetrics,
+		"BenchmarkSteadyStateStepITPXPTP":   hotpathITPXPTP,
+		"BenchmarkSteadyStateStepCHiRP":     hotpathCHiRP,
+		"BenchmarkSteadyStateStepBeacons":   hotpathBeacons,
+		"BenchmarkSteadyStateStepMultiCore": hotpathCommon,
 	}
 )
 
@@ -163,6 +197,19 @@ func BenchmarkSteadyStateStepBeacons(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.step(t)
+	}
+}
+
+// BenchmarkSteadyStateStepMultiCore gates the CMP steady state: four
+// cores' threads stepped round-robin through their private front ends
+// into the shared STLB/L2C/LLC/walker/DRAM. Per-tenant stats attribution
+// and shared-MSHR contention must stay at 0 allocs/op per core.
+func BenchmarkSteadyStateStepMultiCore(b *testing.B) {
+	m, threads := newSteadyMultiCore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.step(threads[i&3])
 	}
 }
 

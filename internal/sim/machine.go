@@ -3,9 +3,13 @@
 // instruction address translation misses — serialise into fetch, an
 // out-of-order back-end whose ROB window hides data-miss latency, the
 // two-level TLB hierarchy, the page-table walker, three cache levels, and
-// DRAM. It supports one or two hardware threads (Section 5.1's SMT
-// extension: fetch alternates threads every cycle and all structures are
-// shared).
+// DRAM. A machine is an N-core CMP: each core owns private L1I/L1D,
+// ITLB/DTLB, a branch predictor, and its own decode-ahead workload
+// stream, while the STLB, L2C, LLC, page-table walker (with its PSCs),
+// and DRAM are shared contended resources. The classic single-core
+// machine (Cores <= 1) additionally supports two SMT threads on core 0
+// (Section 5.1's extension: fetch alternates threads every cycle and all
+// structures are shared).
 package sim
 
 import (
@@ -31,31 +35,52 @@ import (
 	"itpsim/internal/workload"
 )
 
-// Machine is one simulated core plus its memory system.
+// coreState is one core's private microarchitecture: first-level TLBs,
+// L1 caches, branch-predictor state, and the hardware threads scheduled
+// on it (one per core in CMP mode; up to two on core 0 under SMT).
+type coreState struct {
+	id         uint8
+	itlb, dtlb *tlb.TLB
+	l1i, l1d   *cache.Cache
+
+	bpRNG uint64
+	// perceptron is non-nil when the config selects the real
+	// hashed-perceptron direction predictor.
+	perceptron *branch.Perceptron
+
+	// threads is this core's slice of the per-run pipeline state, only
+	// touched by the run loop.
+	threads []*threadCtx
+}
+
+// Machine is a CMP — N cores plus the shared memory system.
 type Machine struct {
 	cfg   config.SystemConfig
 	Stats *stats.Sim
 
-	itlb, dtlb *tlb.TLB
-	stlb       tlb.Store
-	l1i, l1d   *cache.Cache
-	l2c, llc   *cache.Cache
-	mem        *dram.DRAM
-	walker     *ptw.Walker
-	pts        [2]*vm.PageTable
+	// cores holds the per-core private structures; everything below is
+	// shared by all cores and contended for real (MSHR pressure, set
+	// conflicts, DRAM bank state).
+	cores []*coreState
+
+	stlb     tlb.Store
+	l2c, llc *cache.Cache
+	mem      *dram.DRAM
+	walker   *ptw.Walker
+	// pts is one page table per tenant (per hardware thread); they share
+	// one physical allocator, so tenants contend for — and interleave
+	// in — physical memory exactly as co-located processes do.
+	pts []*vm.PageTable
 
 	ctrl  *core.Controller
 	chirp *tlb.CHiRP
 
 	// stlbMSHRs track in-flight page walks so concurrent misses to the
 	// same page merge instead of walking twice; each entry carries the
-	// Type (class) bit of Figure 7.
+	// Type (class) bit of Figure 7. The file is shared CMP-wide: under
+	// co-location, one tenant's walk burst can exhaust it and delay
+	// every other tenant's walks.
 	stlbMSHRs []stlbMSHREntry
-
-	bpRNG uint64
-	// perceptron is non-nil when the config selects the real
-	// hashed-perceptron direction predictor.
-	perceptron *branch.Perceptron
 
 	// frontBound/backBound count dispatches limited by fetch vs by the
 	// ROB (debug attribution).
@@ -147,12 +172,29 @@ func NewMachine(cfg config.SystemConfig) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, Stats: stats.NewSim(), bpRNG: 0xabcdef12345}
+	nCores := cfg.Cores
+	if nCores < 1 {
+		nCores = 1
+	}
+	// One tenant per core; the single-core machine keeps two tenant
+	// slots so the SMT mode has one per thread. The tenant count fixes
+	// the page-table set and the per-tenant stats views up front (the
+	// stats slice is pointed into below and must never reallocate).
+	nTenants := nCores
+	if nTenants < 2 {
+		nTenants = 2
+	}
+	m := &Machine{cfg: cfg, Stats: stats.NewSim()}
+	m.Stats.EnsureTenants(nTenants)
 
-	// Physical memory: sized generously for the workload footprints.
+	// Physical memory: sized generously for the workload footprints. The
+	// allocator is shared, so page-table creation order is part of the
+	// deterministic contract: tenant i's table is always built i-th.
 	alloc := vm.NewPhysAlloc(64 << 30)
-	m.pts[0] = vm.NewPageTable(alloc, cfg.HugePageFraction, 1)
-	m.pts[1] = vm.NewPageTable(alloc, cfg.HugePageFraction, 2)
+	m.pts = make([]*vm.PageTable, nTenants)
+	for i := range m.pts {
+		m.pts[i] = vm.NewPageTable(alloc, cfg.HugePageFraction, uint64(i+1))
+	}
 
 	// Memory hierarchy, bottom up.
 	m.mem = dram.New(cfg.DRAM)
@@ -187,17 +229,6 @@ func NewMachine(cfg config.SystemConfig) (*Machine, error) {
 	if cfg.L2CStride {
 		m.l2c.SetPrefetcher(prefetch.NewStride(1024, 2))
 	}
-
-	m.l1i = cache.New("L1I", cfg.L1I, replacement.NewLRU(), m.l2c, &m.Stats.L1I)
-	m.l1d = cache.New("L1D", cfg.L1D, replacement.NewLRU(), m.l2c, &m.Stats.L1D)
-	m.l1d.SetWriteback(m.mem.Writeback)
-	if cfg.L1DNextLine {
-		m.l1d.SetPrefetcher(prefetch.NewNextLine())
-	}
-
-	// TLB hierarchy.
-	m.itlb = tlb.New("ITLB", cfg.ITLB.Sets, cfg.ITLB.Ways, tlb.NewLRU())
-	m.dtlb = tlb.New("DTLB", cfg.DTLB.Sets, cfg.DTLB.Ways, tlb.NewLRU())
 
 	newSTLBPolicy := func() (tlb.Policy, error) {
 		switch cfg.STLBPolicy {
@@ -238,11 +269,39 @@ func NewMachine(cfg config.SystemConfig) (*Machine, error) {
 	m.walker = ptw.New(&cfg, m.l2c, m.Stats)
 	m.stlbMSHRs = make([]stlbMSHREntry, cfg.STLB.MSHRs)
 
-	if cfg.BranchPredictor == "perceptron" {
-		m.perceptron = branch.NewPerceptron()
+	// Per-core private structures. L1 stats sinks point at the per-core
+	// views; the machine-level aggregates are recomputed as their exact
+	// sums at every run end (stats.Sim.AggregateTenants).
+	m.cores = make([]*coreState, nCores)
+	for i := range m.cores {
+		ten := &m.Stats.Cores[i]
+		c := &coreState{id: uint8(i), bpRNG: bpSeed(i)}
+		c.l1i = cache.New("L1I", cfg.L1I, replacement.NewLRU(), m.l2c, &ten.L1I)
+		c.l1d = cache.New("L1D", cfg.L1D, replacement.NewLRU(), m.l2c, &ten.L1D)
+		c.l1d.SetWriteback(m.mem.Writeback)
+		if cfg.L1DNextLine {
+			c.l1d.SetPrefetcher(prefetch.NewNextLine())
+		}
+		c.itlb = tlb.New("ITLB", cfg.ITLB.Sets, cfg.ITLB.Ways, tlb.NewLRU())
+		c.dtlb = tlb.New("DTLB", cfg.DTLB.Sets, cfg.DTLB.Ways, tlb.NewLRU())
+		if cfg.BranchPredictor == "perceptron" {
+			c.perceptron = branch.NewPerceptron()
+		}
+		m.cores[i] = c
 	}
 	return m, nil
 }
+
+// bpSeed derives core i's branch-predictor RNG seed. Core 0 keeps the
+// historical seed so single-core runs stay bit-identical; later cores
+// decorrelate via golden-ratio stepping (never zero for i <= MaxCores,
+// which xorshift requires).
+func bpSeed(i int) uint64 {
+	return 0xabcdef12345 + uint64(i)*0x9e3779b97f4a7c15
+}
+
+// Cores reports the machine's configured core count.
+func (m *Machine) Cores() int { return len(m.cores) }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() config.SystemConfig { return m.cfg }
@@ -255,11 +314,11 @@ func (m *Machine) Controller() *core.Controller { return m.ctrl }
 // accuracy.
 //
 //itp:hotpath
-func (m *Machine) predictBranch() bool {
-	m.bpRNG ^= m.bpRNG << 13
-	m.bpRNG ^= m.bpRNG >> 7
-	m.bpRNG ^= m.bpRNG << 17
-	return float64(m.bpRNG>>11)/float64(1<<53) < m.cfg.BranchPredAccuracy
+func (m *Machine) predictBranch(c *coreState) bool {
+	c.bpRNG ^= c.bpRNG << 13
+	c.bpRNG ^= c.bpRNG >> 7
+	c.bpRNG ^= c.bpRNG << 17
+	return float64(c.bpRNG>>11)/float64(1<<53) < m.cfg.BranchPredAccuracy
 }
 
 // translate resolves va through the TLB hierarchy. It returns the
@@ -268,13 +327,17 @@ func (m *Machine) predictBranch() bool {
 // are free (VIPT lookup overlaps the cache index).
 //
 //itp:hotpath
-func (m *Machine) translate(now uint64, va arch.Addr, class arch.Class, pc arch.Addr, thread uint8) (arch.Addr, uint64, bool) {
-	first := m.dtlb
-	firstStats := &m.Stats.DTLB
+func (m *Machine) translate(c *coreState, now uint64, va arch.Addr, class arch.Class, pc arch.Addr, thread uint8) (arch.Addr, uint64, bool) {
+	// ten is the per-tenant stats view; TLB traffic is attributed here,
+	// at the one site that knows the requesting thread, and the
+	// aggregates are recomputed as tenant sums at run end.
+	ten := &m.Stats.Cores[thread]
+	first := c.dtlb
+	firstStats := &ten.DTLB
 	bucket := stats.BData
 	if class == arch.InstrClass {
-		first = m.itlb
-		firstStats = &m.Stats.ITLB
+		first = c.itlb
+		firstStats = &ten.ITLB
 		bucket = stats.BInstr
 	}
 
@@ -287,11 +350,11 @@ func (m *Machine) translate(now uint64, va arch.Addr, class arch.Class, pc arch.
 	// STLB access.
 	stlbDone := now + m.cfg.STLB.Latency
 	if ppn, bits, hit := m.stlb.Lookup(va, pc, class, thread); hit {
-		m.Stats.STLB.Record(bucket, true)
+		ten.STLB.Record(bucket, true)
 		first.Insert(va, ppn, bits, class, pc, thread)
 		return physFrom(ppn, bits, va), stlbDone, false
 	}
-	m.Stats.STLB.Record(bucket, false)
+	ten.STLB.Record(bucket, false)
 	m.recordSTLBDemandMiss(bucket)
 	if m.ctrl != nil {
 		m.ctrl.OnSTLBMiss()
@@ -304,7 +367,7 @@ func (m *Machine) translate(now uint64, va arch.Addr, class arch.Class, pc arch.
 	for i := range m.stlbMSHRs {
 		e := &m.stlbMSHRs[i]
 		if e.valid && e.vpn == vpn && e.thread == thread && e.readyAt > stlbDone {
-			m.Stats.STLB.RecordMissLatency(e.readyAt - now)
+			ten.STLB.RecordMissLatency(e.readyAt - now)
 			return physFrom(e.ppn, e.bits, va), e.readyAt, true
 		}
 	}
@@ -329,13 +392,13 @@ func (m *Machine) translate(now uint64, va arch.Addr, class arch.Class, pc arch.
 	}
 
 	// Page walk.
-	tr := m.pts[thread&1].Translate(va)
+	tr := m.pts[thread].Translate(va)
 	done, _ := m.walker.Walk(start, va, &tr, class, pc, thread)
 	*entry = stlbMSHREntry{
 		vpn: vpn, thread: thread, class: class, valid: true,
 		readyAt: done, ppn: tr.PPN, bits: tr.PageBits,
 	}
-	m.Stats.STLB.RecordMissLatency(done - now)
+	ten.STLB.RecordMissLatency(done - now)
 	m.stlb.Insert(va, tr.PPN, tr.PageBits, class, pc, thread)
 	first.Insert(va, tr.PPN, tr.PageBits, class, pc, thread)
 
@@ -346,7 +409,7 @@ func (m *Machine) translate(now uint64, va arch.Addr, class arch.Class, pc arch.
 	if m.cfg.STLBPrefetch && class == arch.InstrClass && tr.PageBits == arch.PageBits4K {
 		nextVA := (va + arch.PageSize4K) &^ (arch.PageSize4K - 1)
 		if _, _, hit := m.stlb.Lookup(nextVA, pc, class, thread); !hit {
-			ptr := m.pts[thread&1].Translate(nextVA)
+			ptr := m.pts[thread].Translate(nextVA)
 			m.walker.Walk(done, nextVA, &ptr, class, pc, thread)
 			m.stlb.Insert(nextVA, ptr.PPN, ptr.PageBits, class, pc, thread)
 			m.Stats.STLBPrefetches++
@@ -368,30 +431,30 @@ var debugIfetchPenalty uint64 = 1
 // and charges instruction-translation stall cycles (the Figure 1 metric).
 //
 //itp:hotpath
-func (m *Machine) ifetch(now uint64, pc arch.Addr, thread uint8) uint64 {
-	pa, tdone, stlbMiss := m.translate(now, pc, arch.InstrClass, pc, thread)
+func (m *Machine) ifetch(c *coreState, now uint64, pc arch.Addr, thread uint8) uint64 {
+	pa, tdone, stlbMiss := m.translate(c, now, pc, arch.InstrClass, pc, thread)
 	if debugIfetchPenalty > 1 {
 		tdone = now + (tdone-now)*debugIfetchPenalty
 	}
-	m.Stats.InstrTransCycles += arch.Cycle(tdone - now)
+	m.Stats.Cores[thread].InstrTransCycles += arch.Cycle(tdone - now)
 	acc := &m.acc
 	*acc = arch.Access{Addr: pa, PC: pc, Kind: arch.IFetch, STLBMiss: stlbMiss, Thread: thread}
-	return m.l1i.Access(tdone, acc)
+	return c.l1i.Access(tdone, acc)
 }
 
 // dataAccess performs translation + L1D access for a load or store.
 //
 //itp:hotpath
-func (m *Machine) dataAccess(now uint64, va, pc arch.Addr, isStore bool, thread uint8) uint64 {
-	pa, tdone, stlbMiss := m.translate(now, va, arch.DataClass, pc, thread)
-	m.Stats.DataTransCycles += arch.Cycle(tdone - now)
+func (m *Machine) dataAccess(c *coreState, now uint64, va, pc arch.Addr, isStore bool, thread uint8) uint64 {
+	pa, tdone, stlbMiss := m.translate(c, now, va, arch.DataClass, pc, thread)
+	m.Stats.Cores[thread].DataTransCycles += arch.Cycle(tdone - now)
 	kind := arch.Load
 	if isStore {
 		kind = arch.Store
 	}
 	acc := &m.acc
 	*acc = arch.Access{Addr: pa, PC: pc, Kind: kind, STLBMiss: stlbMiss, Thread: thread}
-	return m.l1d.Access(tdone, acc)
+	return c.l1d.Access(tdone, acc)
 }
 
 // fdipPrefetch probes the ITLB for the block's translation and, when it
@@ -400,18 +463,18 @@ func (m *Machine) dataAccess(now uint64, va, pc arch.Addr, isStore bool, thread 
 // translation, which is exactly why instruction STLB misses hurt.
 //
 //itp:hotpath
-func (m *Machine) fdipPrefetch(now uint64, pc arch.Addr, thread uint8) bool {
-	ppn, bits, _, ok := m.itlb.Peek(pc, thread)
+func (m *Machine) fdipPrefetch(c *coreState, now uint64, pc arch.Addr, thread uint8) bool {
+	ppn, bits, _, ok := c.itlb.Peek(pc, thread)
 	if !ok {
 		return false
 	}
 	pa := physFrom(ppn, bits, pc)
-	if m.l1i.Contains(pa, thread) {
+	if c.l1i.Contains(pa, thread) {
 		return true
 	}
 	acc := &m.acc
 	*acc = arch.Access{Addr: pa, PC: pc, Kind: arch.Prefetch, Thread: thread}
-	m.l1i.Access(now, acc)
+	c.l1i.Access(now, acc)
 	return true
 }
 
@@ -431,8 +494,9 @@ var ErrInterrupted = errors.New("sim: run interrupted")
 // run surfaces as a run error instead of a silently truncated simulation.
 type errStream interface{ Err() error }
 
-// Run simulates instrPerThread instructions on each stream (1 or 2
-// streams) and returns the collected statistics.
+// Run simulates instrPerThread instructions on each stream (one per
+// core; the single-core machine also accepts two SMT streams) and
+// returns the collected statistics.
 func (m *Machine) Run(streams []workload.Stream, instrPerThread uint64) (RunResult, error) {
 	return m.RunWarmup(streams, 0, instrPerThread)
 }
@@ -446,27 +510,63 @@ func (m *Machine) Run(streams []workload.Stream, instrPerThread uint64) (RunResu
 // count is invalid, when the run is interrupted, or when a stream reports
 // a terminal ingestion error.
 func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) (RunResult, error) {
-	if len(streams) == 0 || len(streams) > 2 {
-		return RunResult{}, fmt.Errorf("sim: Run needs 1 or 2 streams, got %d", len(streams))
+	nCores := len(m.cores)
+	if nCores > 1 {
+		if len(streams) != nCores {
+			return RunResult{}, fmt.Errorf("sim: Run needs exactly one stream per core (%d cores configured), got %d streams", nCores, len(streams))
+		}
+	} else if len(streams) == 0 || len(streams) > 2 {
+		return RunResult{}, fmt.Errorf("sim: Run needs 1 or 2 streams on a 1-core machine (2 = SMT), got %d streams", len(streams))
 	}
 	m.interrupted.Store(false)
 	m.auditErr = nil
 	threads := make([]*threadCtx, len(streams))
-	// In SMT mode fetch alternates threads every cycle, halving each
-	// thread's effective fetch bandwidth.
-	fetchStep := uint64(1)
-	if len(streams) == 2 {
-		fetchStep = 2
-	}
 	for i := range streams {
-		threads[i] = newThreadCtx(uint8(i), streams[i], &m.cfg, fetchStep, warmup+measure)
+		c := m.cores[0]
+		if nCores > 1 {
+			c = m.cores[i]
+		}
+		threads[i] = newThreadCtx(c, uint8(i), streams[i], &m.cfg, 1, warmup+measure)
+		c.threads = append(c.threads, threads[i])
 	}
 
 	m.threads = threads
-	defer func() { m.threads = nil }()
+	defer func() {
+		m.threads = nil
+		for _, c := range m.cores {
+			c.threads = nil
+		}
+	}()
 	m.publishDiag()
 
+	// setFetchSteps grants each thread its share of its core's fetch
+	// bandwidth: under SMT fetch alternates the core's *live* threads
+	// every cycle, so when one drains (done, or past this phase's
+	// boundary) the survivor gets the full width back instead of keeping
+	// fetchStep=2 against a dead peer. Single-thread cores always run at
+	// full bandwidth and are skipped.
+	setFetchSteps := func(until uint64) {
+		for _, c := range m.cores {
+			if len(c.threads) < 2 {
+				continue
+			}
+			live := uint64(0)
+			for _, th := range c.threads {
+				if !th.done && th.retired < until {
+					live++
+				}
+			}
+			if live == 0 {
+				live = 1
+			}
+			for _, th := range c.threads {
+				th.fetchStep = live
+			}
+		}
+	}
+
 	run := func(until uint64) {
+		setFetchSteps(until)
 		// Single-thread fast path: no per-step thread selection scan.
 		if len(threads) == 1 {
 			t := threads[0]
@@ -497,6 +597,10 @@ func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) (
 				return
 			}
 			m.step(t)
+			if t.done || t.retired >= until {
+				// t left the live set: re-split its core's bandwidth.
+				setFetchSteps(until)
+			}
 		}
 	}
 
@@ -505,17 +609,10 @@ func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) (
 		run(warmup)
 		// Reset the measurement state, keeping all microarchitectural
 		// state warm.
-		for _, l := range m.Stats.Levels() {
-			l.Reset()
-		}
-		m.Stats.InstrTransCycles = 0
-		m.Stats.DataTransCycles = 0
-		m.Stats.PageWalks = [2]uint64{}
-		m.Stats.WalkLatSum = [2]arch.Cycle{}
-		m.Stats.PSCHits = [4]uint64{}
-		m.Stats.DRAMAccesses = 0
+		m.Stats.ResetMeasured()
 		for _, th := range threads {
 			th.retiredAtReset = th.retired
+			th.lastRetireAtReset = th.lastRetire
 			if th.lastRetire > baseline {
 				baseline = th.lastRetire
 			}
@@ -527,11 +624,15 @@ func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) (
 	var last uint64
 	for _, th := range threads {
 		m.Stats.Instructions[th.id] = th.retired - th.retiredAtReset
+		ten := &m.Stats.Cores[th.id]
+		ten.Instructions = th.retired - th.retiredAtReset
+		ten.Cycles = arch.Cycle(th.lastRetire - th.lastRetireAtReset)
 		if th.lastRetire > last {
 			last = th.lastRetire
 		}
 	}
 	m.Stats.Cycles = arch.Cycle(last - baseline)
+	m.Stats.AggregateTenants()
 	if m.ctrl != nil {
 		m.Stats.XPTPEnabledWindows = m.ctrl.EnabledWindows
 		m.Stats.XPTPDisabledWindows = m.ctrl.DisabledWindows

@@ -62,8 +62,13 @@ func (m *Machine) InstrumentMetrics(reg *metrics.Registry, windowInstr uint64) *
 	mm.stlbMissData = reg.Counter("stlb.demand_miss.data")
 	mm.l2cEvictDataPTE = reg.Counter("l2c.evict.data_pte")
 
-	m.itlb.Instrument(reg, "itlb")
-	m.dtlb.Instrument(reg, "dtlb")
+	// Every core's first-level TLBs instrument under the same prefixes:
+	// the registry returns the existing counter for a repeated name, so
+	// the exported series stay CMP-wide aggregates with stable names.
+	for _, c := range m.cores {
+		c.itlb.Instrument(reg, "itlb")
+		c.dtlb.Instrument(reg, "dtlb")
+	}
 	switch s := m.stlb.(type) {
 	case *tlb.TLB:
 		s.Instrument(reg, "stlb")

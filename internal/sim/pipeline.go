@@ -96,12 +96,20 @@ func (l *lookahead) pop(in *workload.Instr) bool {
 // threadCtx is the per-hardware-thread pipeline state.
 type threadCtx struct {
 	id uint8
-	la *lookahead
+	// core is the core this thread is scheduled on: its private L1s,
+	// first-level TLBs, and branch predictor serve this thread's
+	// accesses (shared with at most one SMT sibling).
+	core *coreState
+	la   *lookahead
 
 	budget         uint64
 	retired        uint64
 	retiredAtReset uint64
-	done           bool
+	// lastRetireAtReset snapshots lastRetire at the warmup→measure
+	// boundary so the tenant's measured cycle span is its own retire
+	// progress, not the machine-wide baseline.
+	lastRetireAtReset uint64
+	done              bool
 
 	// Front end.
 	fetchCycle uint64 // when the fetch unit may fetch the next instruction
@@ -130,7 +138,7 @@ type threadCtx struct {
 // FDIPDistance blocks can consume.
 const blockInstrs = arch.BlockSize / 4
 
-func newThreadCtx(id uint8, s workload.Stream, cfg *config.SystemConfig, fetchStep uint64, budget uint64) *threadCtx {
+func newThreadCtx(c *coreState, id uint8, s workload.Stream, cfg *config.SystemConfig, fetchStep uint64, budget uint64) *threadCtx {
 	// The FTQ bounds how far fetch may run ahead of dispatch; beyond it
 	// the decoupled front-end can no longer hide instruction-side misses.
 	ftqCap := cfg.FTQDepth
@@ -139,7 +147,8 @@ func newThreadCtx(id uint8, s workload.Stream, cfg *config.SystemConfig, fetchSt
 	// lookahead slots.
 	scanBudget := cfg.FDIPDistance * blockInstrs
 	t := &threadCtx{
-		id: id,
+		id:   id,
+		core: c,
 		// refetch starts true: the first instruction must fetch its block
 		// even when the trace begins in block 0.
 		refetch:    true,
@@ -164,6 +173,7 @@ const pipelineFillLatency = 8
 //
 //itp:hotpath
 func (m *Machine) step(t *threadCtx) {
+	c := t.core
 	var in workload.Instr
 	if t.retired >= t.budget || !t.la.pop(&in) {
 		t.done = true
@@ -184,7 +194,7 @@ func (m *Machine) step(t *threadCtx) {
 	if blk != t.fetchBlock || t.refetch {
 		t.refetch = false
 		t.fetchBlock = blk
-		done := m.ifetch(t.fetchCycle, in.PC, t.id)
+		done := m.ifetch(c, t.fetchCycle, in.PC, t.id)
 		if done > t.fetchReady {
 			t.fetchReady = done
 		}
@@ -223,7 +233,7 @@ func (m *Machine) step(t *threadCtx) {
 			// Pointer chase: the address comes from the previous load.
 			start = t.lastLoadDone
 		}
-		loadDone := m.dataAccess(start, in.LoadAddr, in.PC, false, t.id)
+		loadDone := m.dataAccess(c, start, in.LoadAddr, in.PC, false, t.id)
 		t.lastLoadDone = loadDone
 		if loadDone > execDone {
 			execDone = loadDone
@@ -232,7 +242,7 @@ func (m *Machine) step(t *threadCtx) {
 	if in.StoreAddr != 0 {
 		// Stores retire from the store buffer; the access updates cache
 		// state but does not extend the critical path.
-		m.dataAccess(dispatch, in.StoreAddr, in.PC, true, t.id)
+		m.dataAccess(c, dispatch, in.StoreAddr, in.PC, true, t.id)
 	}
 
 	if in.IsBranch {
@@ -240,11 +250,11 @@ func (m *Machine) step(t *threadCtx) {
 			m.chirp.Observe(t.id, uint64(in.PC))
 		}
 		predictedRight := false
-		if m.perceptron != nil {
-			predictedRight = m.perceptron.Predict(in.PC) == in.Taken
-			m.perceptron.Update(in.PC, in.Taken)
+		if c.perceptron != nil {
+			predictedRight = c.perceptron.Predict(in.PC) == in.Taken
+			c.perceptron.Update(in.PC, in.Taken)
 		} else {
-			predictedRight = m.predictBranch()
+			predictedRight = m.predictBranch(c)
 		}
 		if !predictedRight {
 			// Mispredict: the front end redirects after resolution and
@@ -348,7 +358,7 @@ func (m *Machine) fdipScan(t *threadCtx) {
 			t.fdipCursor = i + 1
 			continue
 		}
-		if !m.fdipPrefetch(t.fetchCycle, in.PC, t.id) {
+		if !m.fdipPrefetch(t.core, t.fetchCycle, in.PC, t.id) {
 			break // unknown translation: FDIP stalls here
 		}
 		t.fdipBlock = blk

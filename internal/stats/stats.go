@@ -155,13 +155,67 @@ func (l *Level) Reset() {
 	*l = Level{Name: name}
 }
 
+// Add accumulates src's counters into l. Every Level field is a sum over
+// observed events, so addition composes exactly.
+func (l *Level) Add(src *Level) {
+	for b := range l.Hits {
+		l.Hits[b] += src.Hits[b]
+		l.Misses[b] += src.Misses[b]
+	}
+	l.MissLatSum += src.MissLatSum
+	l.MissLatCnt += src.MissLatCnt
+}
+
+// Core is the per-tenant statistics view of one CMP run. One tenant is
+// one hardware thread with its own workload stream: tenant i runs on
+// core i, except in the single-core SMT mode where tenants 0 and 1
+// share core 0. ITLB/DTLB/STLB counters are attributed exactly per
+// tenant (recorded at the translation site, where the thread is known);
+// L1I/L1D counters are per core, which equals per tenant everywhere but
+// under SMT, where both threads' traffic lands on tenant 0's view.
+type Core struct {
+	// Instructions retired and Cycles elapsed for this tenant during the
+	// measured phase; their quotient is the tenant's IPC.
+	Instructions uint64
+	Cycles       arch.Cycle
+
+	ITLB, DTLB Level
+	// STLB is this tenant's slice of the shared second-level TLB traffic.
+	STLB     Level
+	L1I, L1D Level
+
+	// InstrTransCycles / DataTransCycles are this tenant's translation
+	// stall accounting (the per-tenant split of the Figure 1 metric).
+	InstrTransCycles arch.Cycle
+	DataTransCycles  arch.Cycle
+}
+
+// IPC returns this tenant's instructions-per-cycle.
+func (c *Core) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// Levels returns the tenant's levels in report order.
+func (c *Core) Levels() []*Level {
+	return []*Level{&c.ITLB, &c.DTLB, &c.STLB, &c.L1I, &c.L1D}
+}
+
 // Sim aggregates everything one simulation run produces.
 type Sim struct {
 	// Cycles is the total simulated cycles (arch.Cycle, not a bare
 	// uint64, so it cannot silently cross with instruction counts).
 	Cycles arch.Cycle
-	// Instructions retired, per hardware thread.
-	Instructions [2]uint64
+	// Instructions retired, per hardware thread (tenant).
+	Instructions []uint64
+
+	// Cores holds the per-tenant statistics views of a CMP run (one
+	// entry per hardware thread; always at least two so the SMT mode has
+	// a slot per thread). The aggregate fields below are the exact sums
+	// of the per-tenant views wherever both exist.
+	Cores []Core
 
 	ITLB, DTLB, STLB Level
 	L1I, L1D, L2C    Level
@@ -193,7 +247,9 @@ type Sim struct {
 	STLBPrefetches uint64
 }
 
-// NewSim returns a Sim with the level names populated.
+// NewSim returns a Sim with the level names populated and room for the
+// two hardware threads of the classic machine; EnsureTenants grows it
+// for wider CMPs.
 func NewSim() *Sim {
 	s := &Sim{}
 	s.ITLB.Name = "ITLB"
@@ -203,12 +259,97 @@ func NewSim() *Sim {
 	s.L1D.Name = "L1D"
 	s.L2C.Name = "L2C"
 	s.LLC.Name = "LLC"
+	s.EnsureTenants(2)
 	return s
+}
+
+// EnsureTenants grows the per-tenant state to hold at least n tenants.
+// Growth reallocates the Cores slice, so callers that retain pointers
+// into it (the simulator wires cache sinks at construction) must size it
+// once up front, before taking pointers.
+func (s *Sim) EnsureTenants(n int) {
+	for len(s.Instructions) < n {
+		s.Instructions = append(s.Instructions, 0)
+	}
+	for len(s.Cores) < n {
+		s.Cores = append(s.Cores, Core{})
+		c := &s.Cores[len(s.Cores)-1]
+		c.ITLB.Name = "ITLB"
+		c.DTLB.Name = "DTLB"
+		c.STLB.Name = "STLB"
+		c.L1I.Name = "L1I"
+		c.L1D.Name = "L1D"
+	}
+}
+
+// ResetMeasured zeroes every measured counter — the warmup→measure
+// boundary reset. It intentionally walks *all* measurement state
+// (aggregate and per-tenant) rather than a hand-kept field list, so a
+// newly added counter cannot silently survive the reset and corrupt the
+// measured phase; TestResetMeasuredCoversEveryField enforces this by
+// reflection. Slice headers and level names are preserved in place
+// because the simulator holds pointers into them.
+func (s *Sim) ResetMeasured() {
+	s.Cycles = 0
+	for i := range s.Instructions {
+		s.Instructions[i] = 0
+	}
+	for i := range s.Cores {
+		c := &s.Cores[i]
+		c.Instructions = 0
+		c.Cycles = 0
+		for _, l := range c.Levels() {
+			l.Reset()
+		}
+		c.InstrTransCycles = 0
+		c.DataTransCycles = 0
+	}
+	for _, l := range s.Levels() {
+		l.Reset()
+	}
+	s.InstrTransCycles = 0
+	s.DataTransCycles = 0
+	s.PageWalks = [2]uint64{}
+	s.WalkLatSum = [2]arch.Cycle{}
+	s.PSCHits = [4]uint64{}
+	s.XPTPEnabledWindows = 0
+	s.XPTPDisabledWindows = 0
+	s.DRAMAccesses = 0
+	s.STLBPrefetches = 0
+}
+
+// AggregateTenants recomputes the aggregate views that are recorded
+// per tenant during a run — first-level TLBs, the STLB, the private L1s,
+// and the translation-cycle accounting — as exact sums of the per-tenant
+// views. Idempotent: it rebuilds those aggregates from scratch, so the
+// simulator may call it at every run end.
+func (s *Sim) AggregateTenants() {
+	s.ITLB.Reset()
+	s.DTLB.Reset()
+	s.STLB.Reset()
+	s.L1I.Reset()
+	s.L1D.Reset()
+	s.InstrTransCycles = 0
+	s.DataTransCycles = 0
+	for i := range s.Cores {
+		c := &s.Cores[i]
+		s.ITLB.Add(&c.ITLB)
+		s.DTLB.Add(&c.DTLB)
+		s.STLB.Add(&c.STLB)
+		s.L1I.Add(&c.L1I)
+		s.L1D.Add(&c.L1D)
+		s.InstrTransCycles += c.InstrTransCycles
+		s.DataTransCycles += c.DataTransCycles
+	}
 }
 
 // TotalInstructions returns instructions retired across all threads.
 func (s *Sim) TotalInstructions() uint64 {
-	return s.Instructions[0] + s.Instructions[1]
+	var total uint64
+	for _, n := range s.Instructions {
+		total += n
+	}
+	return total
 }
 
 // IPC returns the combined instructions-per-cycle.

@@ -44,7 +44,7 @@ func (*LRU) OnEvict(int, []Entry, int) {}
 type CHiRP struct {
 	table     []uint8 // confidence counters
 	tableMask uint64
-	history   [2]uint64 // per-thread control-flow history hash
+	history   [64]uint64 // per-thread control-flow history hash (CMP-wide)
 	threshold uint8
 	ctrMax    uint8
 	// lowInsertPos is where low-confidence entries land (near LRU).
@@ -84,15 +84,15 @@ func (*CHiRP) Name() string { return "chirp" }
 //
 //itp:hotpath
 func (c *CHiRP) Observe(thread uint8, pc uint64) {
-	h := c.history[thread&1]
-	c.history[thread&1] = (h << 5) ^ (h >> 59) ^ (pc >> 2)
+	h := c.history[thread&63]
+	c.history[thread&63] = (h << 5) ^ (h >> 59) ^ (pc >> 2)
 }
 
 // signature mixes the history with the missing VPN.
 //
 //itp:hotpath
 func (c *CHiRP) signature(thread uint8, vpn uint64) uint16 {
-	h := c.history[thread&1] ^ (vpn * 0x9e3779b97f4a7c15)
+	h := c.history[thread&63] ^ (vpn * 0x9e3779b97f4a7c15)
 	h ^= h >> 29
 	return uint16(h & c.tableMask)
 }
