@@ -5,7 +5,7 @@
 // whose header is the same self-describing manifest the metrics exporter
 // writes (git revision, time, tool):
 //
-//	go test -bench 'Throughput' -benchtime 1x . | benchguard -record BENCH_20260806.json
+//	go test -bench 'Throughput' -benchtime 1x . | benchguard -record BENCH_20260808.json
 //
 // Compare mode diffs two baselines and exits non-zero when any shared
 // benchmark slowed down by more than -threshold (default 10%):
@@ -71,7 +71,7 @@ func main() {
 		threshold  = flag.Float64("threshold", 0.10, "max tolerated ns/op (or allocs/op) growth (0.10 = 10%)")
 		overhead   = flag.Float64("overhead", 0.05, "max tolerated metrics-instrumentation overhead within one baseline")
 		allocGate  = flag.String("alloc-gate", "^BenchmarkSteadyState", "regexp of benchmarks that must report 0 allocs/op (empty disables)")
-		metricGate = flag.String("metric-gate", "BenchmarkShardedRun:speedup>=5",
+		metricGate = flag.String("metric-gate", "BenchmarkShardedRun:speedup>=5,BenchmarkSampledRun:speedup>=10",
 			"comma-separated bench:metric>=min floors on custom metrics; a baseline missing the metric is noted and skipped (empty disables)")
 	)
 	flag.Parse()

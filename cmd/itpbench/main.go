@@ -67,6 +67,10 @@ func main() {
 		cores   = flag.Int("cores", 0, "CMP width for the multi-core co-location study (mc1); 0 = its default of 4")
 		par     = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		shards  = flag.Int("shards", 1, "split each single-workload simulation into this many parallel segments (1 = serial; error bounds in DESIGN.md §12)")
+
+		samplePhases = flag.Int("sample-phases", 0, "phase-sample each single-workload simulation: K phases from a shared LRU-baseline profile, one representative interval each (0 = off; error bounds in DESIGN.md §14)")
+		sampleWindow = flag.Uint64("sample-window", 0, "phase-classification interval in retired instructions (0 = 50000); warmup and measure must be multiples of it")
+		funcWarmup   = flag.Uint64("func-warmup", 0, "replay this prefix of each segment's warmup functionally (no pipeline); must leave a detailed warmup suffix")
 		csvDir  = flag.String("csv", "", "also write <dir>/<fig>.csv for each experiment")
 		svgDir  = flag.String("svg", "", "also render <dir>/<fig>.svg bar charts")
 
@@ -106,8 +110,15 @@ func main() {
 	if *cores > 0 {
 		o.Cores = *cores
 	}
+	if *samplePhases > 0 && *shards > 1 {
+		fmt.Fprintln(os.Stderr, "itpbench: -sample-phases and -shards are alternative parallel modes; pick one")
+		os.Exit(2)
+	}
 	o.Parallelism = *par
 	o.Shards = *shards
+	o.SamplePhases = *samplePhases
+	o.SampleWindow = *sampleWindow
+	o.FuncWarmup = *funcWarmup
 	o.Retries = *retries
 	o.JobTimeout = *jobTimeout
 	o.Checkpoint = *checkpoint

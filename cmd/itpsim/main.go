@@ -16,6 +16,8 @@
 //	itpsim -trace trace.itpt.gz -stlb itp
 //	itpsim -workload srv_000 -beacon-interval 100000 -audit
 //	itpsim -workload srv_000 -chaos read -retries 2 -beacon-interval 100000
+//	itpsim -workload srv_000 -shards 8 -func-warmup 800000
+//	itpsim -workload srv_000 -n 100000000 -sample-phases 8 -sample-window 1000000
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"itpsim/internal/config"
 	"itpsim/internal/harness"
 	"itpsim/internal/metrics"
+	"itpsim/internal/sample"
 	"itpsim/internal/shard"
 	"itpsim/internal/sim"
 	"itpsim/internal/stats"
@@ -76,6 +79,10 @@ func main() {
 		wdSamples   = flag.Int("watchdog-samples", 6, "consecutive no-progress samples before a run is killed")
 		parallelism = flag.Int("parallel", 0, "concurrent simulations in multi-workload mode (0 = GOMAXPROCS)")
 		shards      = flag.Int("shards", 1, "split the run into this many parallel warmup+measure segments (single catalogue workload only; 1 = serial)")
+
+		samplePhases = flag.Int("sample-phases", 0, "phase-sample the run: classify the measured region into K phases from an LRU-baseline profiling pre-pass and simulate one representative interval per phase in detail (0 = off; error bounds in DESIGN.md §14)")
+		sampleWindow = flag.Uint64("sample-window", 50_000, "phase-classification interval in retired instructions; -warmup and -n must be multiples of it when -sample-phases > 1")
+		funcWarmup   = flag.Uint64("func-warmup", 0, "replay this prefix of each segment's warmup functionally (TLB/cache/predictor state only, no pipeline); must leave a detailed warmup suffix. Applies to -shards and -sample-phases runs")
 	)
 	flag.Parse()
 
@@ -115,6 +122,10 @@ func main() {
 			fatal(fmt.Errorf("-smt is a single-core mode; it cannot combine with -cores %d", cfg.Cores))
 		case *shards > 1:
 			fatal(fmt.Errorf("-shards splits one stream; multi-core runs (-cores %d) must run whole", cfg.Cores))
+		case *samplePhases > 0:
+			fatal(fmt.Errorf("-sample-phases samples one stream; multi-core runs (-cores %d) must run whole", cfg.Cores))
+		case *funcWarmup > 0:
+			fatal(fmt.Errorf("-func-warmup is a single-core mode; it cannot combine with -cores %d", cfg.Cores))
 		case *tracePath != "":
 			fatal(fmt.Errorf("-cores needs catalogue workloads; recorded traces are single-stream"))
 		}
@@ -238,6 +249,27 @@ func main() {
 			&chaos.Error{Kind: chaos.ReadFault, Op: "ingest", Off: int64(at)})
 	}
 
+	if *funcWarmup > 0 && *funcWarmup >= *warmup {
+		fatal(fmt.Errorf("-func-warmup %d must leave a detailed warmup suffix (-warmup %d)", *funcWarmup, *warmup))
+	}
+
+	if *samplePhases > 0 {
+		if *tracePath != "" || *smtPartner != "" || *chaosKind != "" {
+			fatal(fmt.Errorf("-sample-phases supports a single catalogue workload (no -trace, -smt, or -chaos)"))
+		}
+		if len(names) > 1 {
+			fatal(fmt.Errorf("-sample-phases applies to a single -workload, not a batch"))
+		}
+		if *shards > 1 {
+			fatal(fmt.Errorf("-sample-phases and -shards are alternative parallel modes; pick one"))
+		}
+		if exporter != nil {
+			fatal(fmt.Errorf("-metrics-out is not supported with -sample-phases (representatives carry no stitched window series)"))
+		}
+		runSampled(cat, cfg, hopts, names[0], *samplePhases, *sampleWindow, *warmup, *funcWarmup, *measure, *beaconEvery, *auditOn)
+		return
+	}
+
 	if *tracePath == "" && len(names) > 1 && cfg.Cores <= 1 {
 		if *smtPartner != "" {
 			fatal(fmt.Errorf("-smt requires a single -workload"))
@@ -245,19 +277,22 @@ func main() {
 		if *shards > 1 {
 			fatal(fmt.Errorf("-shards applies to a single -workload, not a batch"))
 		}
+		if *funcWarmup > 0 {
+			fatal(fmt.Errorf("-func-warmup applies to a single -workload, not a batch"))
+		}
 		runBatch(cat, cfg, hopts, names, *warmup, *measure, attachMetrics, faultStream)
 		return
 	}
 
-	if *shards > 1 {
+	if *shards > 1 || *funcWarmup > 0 {
 		if *tracePath != "" || *smtPartner != "" || *chaosKind != "" {
-			fatal(fmt.Errorf("-shards supports a single catalogue workload (no -trace, -smt, or -chaos)"))
+			fatal(fmt.Errorf("-shards and -func-warmup support a single catalogue workload (no -trace, -smt, or -chaos)"))
 		}
 		var window uint64
 		if exporter != nil {
 			window = mWindow
 		}
-		runSharded(cat, cfg, hopts, names[0], *shards, *warmup, *measure, *beaconEvery, *auditOn, window, exporter)
+		runSharded(cat, cfg, hopts, names[0], *shards, *warmup, *funcWarmup, *measure, *beaconEvery, *auditOn, window, exporter)
 		return
 	}
 
@@ -383,7 +418,7 @@ func main() {
 // With an exporter, the stitched window series — already rebased into
 // serial coordinates — is written after the run completes.
 func runSharded(cat *workload.Catalog, cfg config.SystemConfig, hopts harness.Options,
-	name string, shards int, warmup, measure, beaconEvery uint64, auditOn bool,
+	name string, shards int, warmup, funcWarmup, measure, beaconEvery uint64, auditOn bool,
 	window uint64, exporter *metrics.JSONL) {
 	spec, err := cat.Get(name)
 	if err != nil {
@@ -391,7 +426,7 @@ func runSharded(cat *workload.Catalog, cfg config.SystemConfig, hopts harness.Op
 	}
 	scfg := shard.Config{
 		System:         cfg,
-		Plan:           shard.Plan{Shards: shards, Warmup: warmup, Measure: measure},
+		Plan:           shard.Plan{Shards: shards, Warmup: warmup, Measure: measure, FuncWarmup: funcWarmup},
 		BeaconInterval: beaconEvery,
 		Audit:          auditOn,
 		MetricsWindow:  window,
@@ -427,6 +462,56 @@ func runSharded(cat *workload.Catalog, cfg config.SystemConfig, hopts harness.Op
 	}
 	if b := res.Beacon(); b != nil {
 		fmt.Printf("\nbeacon chain: %016x over %d beacons (serial-exact: 1 shard)\n", b.Chain, b.Count)
+	}
+}
+
+// runSampled is the phase-sampling mode: a cheap profiling pre-pass at
+// the LRU baseline classifies the measured region into K phases, then only
+// one representative interval per phase is simulated in detail — each as a
+// supervised parallel job — and the full-run statistics are reconstructed
+// as the phase-occupancy-weighted sum (error bounds in DESIGN.md §14).
+func runSampled(cat *workload.Catalog, cfg config.SystemConfig, hopts harness.Options,
+	name string, phases int, window, warmup, funcWarmup, measure, beaconEvery uint64, auditOn bool) {
+	spec, err := cat.Get(name)
+	if err != nil {
+		fatal(err)
+	}
+	scfg := sample.Config{
+		System:         cfg,
+		Phases:         phases,
+		Window:         window,
+		Warmup:         warmup,
+		Measure:        measure,
+		BeaconInterval: beaconEvery,
+		Audit:          auditOn,
+	}
+	if funcWarmup > 0 {
+		scfg.DetailWarmup = warmup - funcWarmup
+	}
+	key := fmt.Sprintf("itpsim|%s|%s/%s/%s|h%.2f|%d/%d",
+		name, cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy,
+		cfg.HugePageFraction, warmup, measure)
+	res, err := sample.Run(scfg, key, shard.Source{Name: name, New: spec.NewStream}, shard.NewIndex(), nil, hopts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload: %s (%d of %d phases requested; %d-instr windows)\npolicies: STLB=%s L2C=%s LLC=%s\nwarmup=%d per representative (%d functional), measure=%d reconstructed\n\n",
+		name, len(res.Reps), phases, window, cfg.STLBPolicy, cfg.L2CPolicy, cfg.LLCPolicy, warmup, funcWarmup, measure)
+	fmt.Print(res.Stats)
+	fmt.Printf("\n%-6s %-8s %12s %8s %9s %s\n", "phase", "window", "offset", "weight", "attempts", "status")
+	for _, rp := range res.Reps {
+		status := "ok"
+		if rp.Cached {
+			status = "ok (checkpoint)"
+		}
+		if rp.Beacon != nil {
+			status += fmt.Sprintf(" chain=%016x/%d", rp.Beacon.Chain, rp.Beacon.Count)
+		}
+		fmt.Printf("%-6d %-8d %12d %8d %9d %s\n",
+			rp.Rep.Phase, rp.Rep.Window, rp.Segment.Offset, rp.Rep.Weight, rp.Attempts, status)
+	}
+	if b := res.Beacon(); b != nil {
+		fmt.Printf("\nbeacon chain: %016x over %d beacons (serial-exact: 1 phase, detailed warmup)\n", b.Chain, b.Count)
 	}
 }
 

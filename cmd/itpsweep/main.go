@@ -31,6 +31,7 @@ import (
 	"itpsim/internal/config"
 	"itpsim/internal/harness"
 	"itpsim/internal/metrics"
+	"itpsim/internal/sample"
 	"itpsim/internal/shard"
 	"itpsim/internal/sim"
 	"itpsim/internal/stats"
@@ -97,6 +98,10 @@ func main() {
 		wdSamples   = flag.Int("watchdog-samples", 6, "consecutive no-progress samples before a run is killed")
 		parallelism = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		shards      = flag.Int("shards", 1, "split each grid point into this many parallel warmup+measure segments (1 = serial; see DESIGN.md §12 for the error bounds)")
+
+		samplePhases = flag.Int("sample-phases", 0, "phase-sample each grid point: one LRU-baseline profile per (workload, geometry) classifies the run into K phases and only representative intervals simulate in detail (0 = off; error bounds in DESIGN.md §14)")
+		sampleWindow = flag.Uint64("sample-window", 50_000, "phase-classification interval in retired instructions; -warmup and -n must be multiples of it when -sample-phases > 1")
+		funcWarmup   = flag.Uint64("func-warmup", 0, "replay this prefix of each segment's warmup functionally (no pipeline); must leave a detailed warmup suffix. Applies to -shards and -sample-phases points")
 	)
 	flag.Parse()
 
@@ -118,8 +123,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "itpsweep: -values required")
 		os.Exit(2)
 	}
-	if *coresN > 1 && *shards > 1 {
-		fmt.Fprintln(os.Stderr, "itpsweep: -shards splits one stream; multi-core points (-cores > 1) must run whole")
+	if *coresN > 1 && (*shards > 1 || *samplePhases > 0 || *funcWarmup > 0) {
+		fmt.Fprintln(os.Stderr, "itpsweep: -shards, -sample-phases, and -func-warmup split/sample one stream; multi-core points (-cores > 1) must run whole")
+		os.Exit(2)
+	}
+	if *samplePhases > 0 && *shards > 1 {
+		fmt.Fprintln(os.Stderr, "itpsweep: -sample-phases and -shards are alternative parallel modes; pick one")
+		os.Exit(2)
+	}
+	if *funcWarmup > 0 && *funcWarmup >= *warmup {
+		fmt.Fprintf(os.Stderr, "itpsweep: -func-warmup %d must leave a detailed warmup suffix (-warmup %d)\n", *funcWarmup, *warmup)
 		os.Exit(2)
 	}
 	var names []string
@@ -228,7 +241,97 @@ func main() {
 	var outs []harness.Outcome[*stats.Sim]
 	var runErr error
 	var totalJobs int
-	if *shards > 1 {
+	if *samplePhases > 0 {
+		if *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "itpsweep: -metrics-out is not supported with -sample-phases (representatives carry no stitched window series)")
+			os.Exit(2)
+		}
+		// One LRU-baseline profile per (workload, machine geometry) plans
+		// every point that shares it — for policy-parameter sweeps that is
+		// one profile per workload for the WHOLE grid, which is where the
+		// sampling speedup over serial sweeping comes from. The profiling
+		// pre-passes run serially here; the representative jobs of all
+		// points then flatten into one RunAll under a shared checkpoint.
+		profiles := sample.NewProfiles()
+		ix := shard.NewIndex()
+		var plans []*sample.Plan
+		var starts []int
+		var flat []harness.Job[*shard.Payload]
+		for _, v := range vals {
+			for _, name := range names {
+				pts = append(pts, point{v, name})
+				cfg := config.Default()
+				cfg.STLBPolicy = *stlbPol
+				cfg.L2CPolicy = *l2cPol
+				cfg.LLCPolicy = *llcPol
+				if err := mutate(&cfg, v); err != nil {
+					fmt.Fprintf(os.Stderr, "itpsweep: %s=%g: %v\n", *param, v, err)
+					os.Exit(2)
+				}
+				spec, err := cat.Get(name)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "itpsweep:", err)
+					os.Exit(2)
+				}
+				src := shard.Source{Name: name, New: spec.NewStream}
+				scfg := sample.Config{
+					System:         cfg,
+					Phases:         *samplePhases,
+					Window:         *sampleWindow,
+					Warmup:         *warmup,
+					Measure:        *measure,
+					BeaconInterval: *beaconEvery,
+					Audit:          *auditOn,
+				}
+				if *funcWarmup > 0 {
+					scfg.DetailWarmup = *warmup - *funcWarmup
+				}
+				var plan *sample.Plan
+				if scfg.Phases == 1 {
+					plan, err = sample.BuildPlan(scfg, nil)
+				} else {
+					var prof []metrics.WindowRecord
+					if prof, err = profiles.Get(scfg, src, nil); err == nil {
+						plan, err = sample.BuildPlan(scfg, prof)
+					}
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "itpsweep: %s=%g %s: %v\n", *param, v, name, err)
+					os.Exit(2)
+				}
+				key := fmt.Sprintf("sweep|%s=%g|%s|%s/%s/%s|%d/%d",
+					*param, v, name, *stlbPol, *l2cPol, *llcPol, *warmup, *measure)
+				js, err := plan.Jobs(key, src, ix)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "itpsweep:", err)
+					os.Exit(2)
+				}
+				plans = append(plans, plan)
+				starts = append(starts, len(flat))
+				flat = append(flat, js...)
+			}
+		}
+		totalJobs = len(flat)
+		flatOuts, err := harness.RunAll(hopts, flat)
+		if flatOuts == nil {
+			fmt.Fprintln(os.Stderr, "itpsweep:", err)
+			os.Exit(1)
+		}
+		runErr = err
+		outs = make([]harness.Outcome[*stats.Sim], len(pts))
+		for i := range pts {
+			end := len(flatOuts)
+			if i+1 < len(starts) {
+				end = starts[i+1]
+			}
+			res, serr := plans[i].Stitch(flatOuts[starts[i]:end])
+			if serr != nil {
+				outs[i].Err = serr
+				continue
+			}
+			outs[i].Result = res.Stats
+		}
+	} else if *shards > 1 || *funcWarmup > 0 {
 		if *metricsOut != "" {
 			fmt.Fprintln(os.Stderr, "itpsweep: -metrics-out is not supported with -shards (use cmd/itpsim's sharded mode for stitched window export)")
 			os.Exit(2)
@@ -254,7 +357,7 @@ func main() {
 				}
 				scfg := shard.Config{
 					System:         cfg,
-					Plan:           shard.Plan{Shards: *shards, Warmup: *warmup, Measure: *measure},
+					Plan:           shard.Plan{Shards: *shards, Warmup: *warmup, Measure: *measure, FuncWarmup: *funcWarmup},
 					BeaconInterval: *beaconEvery,
 					Audit:          *auditOn,
 				}
@@ -303,6 +406,12 @@ func main() {
 		*param, vals, *stlbPol, *l2cPol, *llcPol, *warmup, *measure)
 	if *shards > 1 {
 		fmt.Printf("; %d shards/point", *shards)
+	}
+	if *samplePhases > 0 {
+		fmt.Printf("; %d sample phases/point (w=%d)", *samplePhases, *sampleWindow)
+	}
+	if *funcWarmup > 0 {
+		fmt.Printf("; functional warmup %d", *funcWarmup)
 	}
 	fmt.Printf("\n\n%-10s %-10s %8s %9s %9s %9s %9s\n",
 		"value", "workload", "IPC", "STLB-MPKI", "walk-lat", "L2C-dt", "itc%")

@@ -62,6 +62,7 @@ type Cache struct {
 	evictDataPTECtr *metrics.Counter
 	fillsCtr        *metrics.Counter
 	writebacksCtr   *metrics.Counter
+	demandMissCtr   *metrics.Counter
 
 	// pfAcc is the scratch access train hands to the prefetch path. Safe
 	// to reuse across the recursive Access call: prefetch-kind accesses
@@ -106,14 +107,16 @@ func (c *Cache) SetWriteback(fn func(now uint64, addr arch.Addr)) { c.writebackF
 
 // Instrument attaches observability counters from the registry under the
 // given prefix (e.g. "l2c"): fills, evictions (total, PTE-holding, and
-// data-PTE-holding — the blocks xPTP protects), and writebacks. A nil
-// registry leaves the counters nil and every update a no-op.
+// data-PTE-holding — the blocks xPTP protects), writebacks, and demand
+// misses (the per-window MPKI numerator the phase classifier clusters
+// on). A nil registry leaves the counters nil and every update a no-op.
 func (c *Cache) Instrument(reg *metrics.Registry, prefix string) {
 	c.fillsCtr = reg.Counter(prefix + ".fills")
 	c.evictionsCtr = reg.Counter(prefix + ".evictions")
 	c.evictPTECtr = reg.Counter(prefix + ".evict.pte")
 	c.evictDataPTECtr = reg.Counter(prefix + ".evict.data_pte")
 	c.writebacksCtr = reg.Counter(prefix + ".writebacks")
+	c.demandMissCtr = reg.Counter(prefix + ".demand_miss")
 }
 
 //itp:hotpath
@@ -143,12 +146,21 @@ func (c *Cache) Contains(addr arch.Addr, thread uint8) bool {
 	return w >= 0
 }
 
-// record notes an access outcome in the statistics sink.
+// record notes an access outcome in the statistics sink and, when
+// instrumented, the demand-miss counter (same bucket definition as
+// stats.Level.TotalMisses: demand and translation traffic, not
+// prefetches or writebacks).
 //
 //itp:hotpath
 func (c *Cache) record(acc *arch.Access, hit bool) {
 	if c.stats != nil {
 		c.stats.Record(stats.BucketFor(acc), hit)
+	}
+	if !hit && c.demandMissCtr != nil {
+		switch acc.Kind {
+		case arch.IFetch, arch.Load, arch.Store, arch.PTW:
+			c.demandMissCtr.Inc()
+		}
 	}
 }
 

@@ -20,6 +20,8 @@ import (
 
 	"itpsim/internal/config"
 	"itpsim/internal/harness"
+	"itpsim/internal/metrics"
+	"itpsim/internal/sample"
 	"itpsim/internal/shard"
 	"itpsim/internal/sim"
 	"itpsim/internal/stats"
@@ -55,6 +57,25 @@ type Options struct {
 	// per-shard warmup approximation shifts metrics within the bounds
 	// documented in DESIGN.md §12.
 	Shards int
+	// SamplePhases > 0 phase-samples every single-workload simulation
+	// (internal/sample): an LRU-baseline profiling pre-pass classifies
+	// the measured region into K phases and only one representative
+	// interval per phase simulates in detail, with full-run statistics
+	// reconstructed as the occupancy-weighted sum. One profile serves
+	// every policy combination that shares a (workload, machine
+	// geometry), which is where the speedup over serial sweeping comes
+	// from. SMT pairs and multi-core jobs run whole. Error bounds are in
+	// DESIGN.md §14. Mutually exclusive with Shards > 1.
+	SamplePhases int
+	// SampleWindow is the phase-classification interval in retired
+	// instructions (0 = 50_000); Warmup and Measure must be multiples of
+	// it when SamplePhases > 1.
+	SampleWindow uint64
+	// FuncWarmup replays this prefix of each segment's warmup
+	// functionally (TLB/cache/predictor state only, no pipeline); it must
+	// leave a detailed warmup suffix. Applies to the Shards and
+	// SamplePhases paths.
+	FuncWarmup uint64
 
 	// Fault tolerance: every sweep routes its jobs through the
 	// internal/harness supervisor with these settings.
@@ -160,9 +181,10 @@ func (c Combo) apply(cfg *config.SystemConfig) {
 // supervisor, with memoisation so shared baselines are only simulated
 // once.
 type runner struct {
-	o   Options
-	cat *workload.Catalog
-	ix  *shard.Index // split-position cache shared by all sharded sweeps
+	o        Options
+	cat      *workload.Catalog
+	ix       *shard.Index     // split-position cache shared by all sharded sweeps
+	profiles *sample.Profiles // profiling pre-passes shared by all sampled sweeps
 
 	mu   sync.Mutex
 	memo map[string]*stats.Sim
@@ -170,10 +192,11 @@ type runner struct {
 
 func newRunner(o Options) *runner {
 	return &runner{
-		o:    o,
-		cat:  workload.NewCatalog(120, 20),
-		ix:   shard.NewIndex(),
-		memo: make(map[string]*stats.Sim),
+		o:        o,
+		cat:      workload.NewCatalog(120, 20),
+		ix:       shard.NewIndex(),
+		profiles: sample.NewProfiles(),
+		memo:     make(map[string]*stats.Sim),
 	}
 }
 
@@ -297,8 +320,13 @@ func (r *runner) run(jc *harness.JobContext, j job) (*stats.Sim, error) {
 // left nil, so callers can keep partial sweeps and report exactly which
 // jobs died.
 func (r *runner) runAll(jobs []job) ([]*stats.Sim, error) {
-	if r.o.Shards > 1 {
-		return r.runAllSharded(jobs)
+	switch {
+	case r.o.SamplePhases > 0 && r.o.Shards > 1:
+		return nil, fmt.Errorf("experiments: SamplePhases and Shards are alternative parallel modes; pick one")
+	case r.o.SamplePhases > 0:
+		return r.runAllSplit(jobs, r.expandSampled)
+	case r.o.Shards > 1 || r.o.FuncWarmup > 0:
+		return r.runAllSplit(jobs, r.expandSharded)
 	}
 	hjobs := make([]harness.Job[*stats.Sim], len(jobs))
 	for i := range jobs {
@@ -330,17 +358,100 @@ func (r *runner) runAll(jobs []job) ([]*stats.Sim, error) {
 	return out, err
 }
 
-// runAllSharded is runAll's Options.Shards>1 path: every single-workload
-// job expands into K supervised segment jobs and every pair job wraps
-// into one whole-run job, all flattened into a SINGLE harness.RunAll so
-// a shared checkpoint journal keeps one writer. Afterwards each logical
-// job's segment outcomes are stitched back into one stats record; the
-// error contract matches runAll (partial results, joined failures).
-func (r *runner) runAllSharded(jobs []job) ([]*stats.Sim, error) {
+// stitchFn folds one logical job's flat segment outcomes back into a
+// stats record.
+type stitchFn func([]harness.Outcome[*shard.Payload]) (*stats.Sim, error)
+
+// expandSharded turns one single-workload job into its Options.Shards
+// supervised segment jobs (internal/shard tiling, with any FuncWarmup
+// prefix) plus the matching stitch.
+func (r *runner) expandSharded(j job) ([]harness.Job[*shard.Payload], stitchFn, error) {
+	spec, err := r.cat.Get(j.names[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	shards := r.o.Shards
+	if shards < 1 {
+		shards = 1 // FuncWarmup alone still routes through the segment engine
+	}
+	cfg := shard.Config{System: j.cfg, Plan: shard.Plan{
+		Shards: shards, Warmup: j.warmup, Measure: j.measure, FuncWarmup: r.o.FuncWarmup,
+	}}
+	sjobs, err := shard.Jobs(cfg, j.key, shard.Source{Name: j.names[0], New: spec.NewStream}, r.ix)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", j.key, err)
+	}
+	return sjobs, func(outs []harness.Outcome[*shard.Payload]) (*stats.Sim, error) {
+		res, err := shard.Stitch(cfg, outs)
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	}, nil
+}
+
+// expandSampled turns one single-workload job into its per-representative
+// jobs (internal/sample): the profiling pre-pass runs here, synchronously,
+// through the runner's shared profile cache — every policy combination
+// over the same (workload, geometry) reuses one profile.
+func (r *runner) expandSampled(j job) ([]harness.Job[*shard.Payload], stitchFn, error) {
+	spec, err := r.cat.Get(j.names[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	src := shard.Source{Name: j.names[0], New: spec.NewStream}
+	cfg := sample.Config{
+		System:  j.cfg,
+		Phases:  r.o.SamplePhases,
+		Window:  r.o.SampleWindow,
+		Warmup:  j.warmup,
+		Measure: j.measure,
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 50_000
+	}
+	if r.o.FuncWarmup > 0 {
+		if r.o.FuncWarmup >= j.warmup {
+			return nil, nil, fmt.Errorf("%s: FuncWarmup %d must leave a detailed warmup suffix (warmup %d)", j.key, r.o.FuncWarmup, j.warmup)
+		}
+		cfg.DetailWarmup = j.warmup - r.o.FuncWarmup
+	}
+	var plan *sample.Plan
+	if cfg.Phases == 1 {
+		plan, err = sample.BuildPlan(cfg, nil)
+	} else {
+		var prof []metrics.WindowRecord
+		if prof, err = r.profiles.Get(cfg, src, nil); err == nil {
+			plan, err = sample.BuildPlan(cfg, prof)
+		}
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", j.key, err)
+	}
+	sjobs, err := plan.Jobs(j.key, src, r.ix)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", j.key, err)
+	}
+	return sjobs, func(outs []harness.Outcome[*shard.Payload]) (*stats.Sim, error) {
+		res, err := plan.Stitch(outs)
+		if err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	}, nil
+}
+
+// runAllSplit is runAll's segmented path (Shards>1, FuncWarmup, or
+// SamplePhases): every single-workload job expands — via expand — into K
+// supervised segment jobs and every pair or multi-core job wraps into one
+// whole-run job, all flattened into a SINGLE harness.RunAll so a shared
+// checkpoint journal keeps one writer. Afterwards each logical job's
+// segment outcomes are stitched back into one stats record; the error
+// contract matches runAll (partial results, joined failures).
+func (r *runner) runAllSplit(jobs []job, expand func(job) ([]harness.Job[*shard.Payload], stitchFn, error)) ([]*stats.Sim, error) {
 	type span struct {
-		start, n int          // slice of the flat outcome list
-		cfg      shard.Config // set when sharded (single-workload)
-		sharded  bool
+		start, n int        // slice of the flat outcome list
+		stitch   stitchFn   // set when expanded (single-workload)
 		memo     *stats.Sim // pre-resolved from the in-process memo
 		dup      int        // >=0: same key as an earlier job in this batch
 		err      error      // expansion failure (unknown workload, bad plan)
@@ -363,25 +474,19 @@ func (r *runner) runAllSharded(jobs []job) ([]*stats.Sim, error) {
 			continue
 		}
 		seen[j.key] = i
-		if len(j.names) == 1 {
-			spec, err := r.cat.Get(j.names[0])
+		if len(j.names) == 1 && j.cfg.Cores <= 1 {
+			sjobs, stitch, err := expand(j)
 			if err != nil {
 				spans[i].err = err
 				continue
 			}
-			cfg := shard.Config{System: j.cfg, Plan: shard.Plan{Shards: r.o.Shards, Warmup: j.warmup, Measure: j.measure}}
-			sjobs, err := shard.Jobs(cfg, j.key, shard.Source{Name: j.names[0], New: spec.NewStream}, r.ix)
-			if err != nil {
-				spans[i].err = fmt.Errorf("%s: %w", j.key, err)
-				continue
-			}
-			spans[i] = span{start: len(flat), n: len(sjobs), cfg: cfg, sharded: true, dup: -1}
+			spans[i] = span{start: len(flat), n: len(sjobs), stitch: stitch, dup: -1}
 			flat = append(flat, sjobs...)
 			continue
 		}
-		// Pairs run whole: sharding is defined over one stream, and the
-		// whole-run job still gets the supervisor (retries, watchdog,
-		// checkpoint) through the same flat batch.
+		// Pairs and multi-core jobs run whole: segmenting is defined over
+		// one stream, and the whole-run job still gets the supervisor
+		// (retries, watchdog, checkpoint) through the same flat batch.
 		spans[i] = span{start: len(flat), n: 1, dup: -1}
 		flat = append(flat, harness.Job[*shard.Payload]{
 			Key: j.key + "|whole",
@@ -413,15 +518,15 @@ func (r *runner) runAllSharded(jobs []job) ([]*stats.Sim, error) {
 			errs = append(errs, sp.err)
 		case sp.dup >= 0:
 			out[i] = out[sp.dup] // nil if the first instance failed
-		case sp.sharded:
-			res, err := shard.Stitch(sp.cfg, outs[sp.start:sp.start+sp.n])
+		case sp.stitch != nil:
+			s, err := sp.stitch(outs[sp.start : sp.start+sp.n])
 			if err != nil {
 				// The failing segments are already in runErr; this adds
 				// which logical job they sank.
 				errs = append(errs, fmt.Errorf("%s: %w", jobs[i].key, err))
 				continue
 			}
-			out[i] = res.Stats
+			out[i] = s
 		default:
 			o := outs[sp.start]
 			if o.Err != nil {

@@ -477,3 +477,120 @@ func TestShardedFigure(t *testing.T) {
 		}
 	}
 }
+
+// TestSampledRunAllMatchesSerial routes the same job set through the
+// serial and Options.SamplePhases paths: pair jobs (run whole) and
+// duplicate keys must be exact, the reconstructed instruction count must
+// be exact, and IPC must land within the sampling methodology's bounds
+// (DESIGN.md §14 — wider than sharding's because phase sampling
+// approximates the measured region, not just the warmup).
+func TestSampledRunAllMatchesSerial(t *testing.T) {
+	o := tiny()
+	serial := newRunner(o)
+	cfg := config.Default()
+	names := serial.serverSet()
+	jobs := []job{
+		serial.newJob([]string{names[0]}, cfg, "sampletest"),
+		serial.newJob([]string{names[0], names[1]}, cfg, "sampletest"),
+		serial.newJob([]string{names[0]}, cfg, "sampletest"), // duplicate key
+	}
+	want, err := serial.runAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o.SamplePhases = 2
+	o.SampleWindow = 10_000
+	o.FuncWarmup = 10_000
+	sampled := newRunner(o)
+	got, err := sampled.runAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range got {
+		if s == nil {
+			t.Fatalf("job %d: nil stats", i)
+		}
+		if gi, wi := s.TotalInstructions(), want[i].TotalInstructions(); gi != wi {
+			t.Errorf("job %d: %d instructions, serial %d (weights must cover the measured region exactly)", i, gi, wi)
+		}
+	}
+	if !reflect.DeepEqual(got[1], want[1]) {
+		t.Error("pair job runs whole and must match the serial run exactly")
+	}
+	if got[2] != got[0] {
+		t.Error("duplicate-key jobs should share one stitched stats record")
+	}
+	if d := got[0].IPC()/want[0].IPC() - 1; d > 0.35 || d < -0.35 {
+		t.Errorf("sampled IPC %.4f vs serial %.4f: delta %.3f outside bound", got[0].IPC(), want[0].IPC(), d)
+	}
+	// Memoisation: a second sampled runAll recalls every stitched record
+	// without re-profiling.
+	again, err := sampled.runAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if again[i] != got[i] {
+			t.Errorf("job %d: second sampled runAll should hit the memo", i)
+		}
+	}
+	// SamplePhases and Shards together is a configuration error.
+	o.Shards = 2
+	if _, err := newRunner(o).runAll(jobs); err == nil {
+		t.Error("SamplePhases+Shards accepted; want an error")
+	}
+}
+
+// TestFuncWarmupRunAll: FuncWarmup alone (Shards unset) routes
+// single-workload jobs through the segment engine as one functionally
+// warmed shard; the result stays close to the serial run.
+func TestFuncWarmupRunAll(t *testing.T) {
+	o := tiny()
+	serial := newRunner(o)
+	cfg := config.Default()
+	names := serial.serverSet()
+	jobs := []job{serial.newJob([]string{names[0]}, cfg, "fwtest")}
+	want, err := serial.runAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.FuncWarmup = 10_000
+	got, err := newRunner(o).runAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi, wi := got[0].TotalInstructions(), want[0].TotalInstructions(); gi != wi {
+		t.Errorf("%d instructions, serial %d", gi, wi)
+	}
+	if d := got[0].IPC()/want[0].IPC() - 1; d > 0.15 || d < -0.15 {
+		t.Errorf("func-warmed IPC %.4f vs serial %.4f: delta %.3f outside bound", got[0].IPC(), want[0].IPC(), d)
+	}
+}
+
+// TestSampledFigure runs one real figure through Options.SamplePhases
+// and checks it produces the same rows as the serial run.
+func TestSampledFigure(t *testing.T) {
+	o := tiny()
+	serial, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.SamplePhases = 2
+	o.SampleWindow = 10_000
+	sampled, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sampled.Rows) != len(serial.Rows) {
+		t.Fatalf("sampled Fig2 has %d rows, serial %d", len(sampled.Rows), len(serial.Rows))
+	}
+	for i, r := range sampled.Rows {
+		if r.Series != serial.Rows[i].Series || r.Label != serial.Rows[i].Label {
+			t.Errorf("row %d: %s/%s, serial %s/%s", i, r.Series, r.Label, serial.Rows[i].Series, serial.Rows[i].Label)
+		}
+		if r.Value != r.Value {
+			t.Errorf("row %d (%s/%s): NaN value", i, r.Series, r.Label)
+		}
+	}
+}

@@ -35,7 +35,7 @@ import (
 // corePackages are the deterministic-core packages under itpsim/internal.
 var corePackages = []string{
 	"sim", "core", "replacement", "tlb", "cache", "ptw", "vm", "dram", "metrics",
-	"audit", "chaos", "shard",
+	"audit", "chaos", "shard", "sample",
 }
 
 // CoreScope decides whether a package is part of the deterministic core.

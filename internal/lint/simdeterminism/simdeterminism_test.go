@@ -25,10 +25,18 @@ func TestAnalyzerShardFixture(t *testing.T) {
 	linttest.Run(t, []*lintcore.Analyzer{Analyzer}, "./testdata/src/shardfix")
 }
 
+func TestAnalyzerSampleFixture(t *testing.T) {
+	old := CoreScope
+	CoreScope = func(path string) bool { return strings.HasSuffix(path, "/samplefix") }
+	defer func() { CoreScope = old }()
+
+	linttest.Run(t, []*lintcore.Analyzer{Analyzer}, "./testdata/src/samplefix")
+}
+
 func TestCoreScopeDefault(t *testing.T) {
 	for _, path := range []string{
 		"itpsim/internal/sim", "itpsim/internal/metrics", "itpsim/internal/replacement",
-		"itpsim/internal/shard",
+		"itpsim/internal/shard", "itpsim/internal/sample",
 	} {
 		if !CoreScope(path) {
 			t.Errorf("CoreScope(%q) = false, want true", path)

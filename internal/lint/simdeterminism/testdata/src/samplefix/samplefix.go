@@ -1,0 +1,35 @@
+// Package samplefix is a simdeterminism fixture modelled on the
+// internal/sample planning path: phase weights MUST be folded in phase
+// order, so accumulating window→phase assignments into a map and ranging
+// over it to emit representatives is exactly the nondeterminism the
+// analyzer exists to catch. The phase-indexed version below is the
+// sanctioned shape.
+package samplefix
+
+// rep stands in for one phase's representative interval.
+type rep struct {
+	window int
+	weight uint64
+}
+
+// planFromMap is the forbidden shape: map iteration order would decide
+// the order representatives (and hence segment indices) are emitted in.
+func planFromMap(byPhase map[int]rep) []rep {
+	var out []rep
+	for _, r := range byPhase { // want `map iteration in the deterministic core`
+		out = append(out, r)
+	}
+	return out
+}
+
+// planIndexed is the sanctioned shape: representatives live in a slice
+// indexed by phase, so the emission order is the phase order by
+// construction.
+func planIndexed(ordered []rep) []rep {
+	out := make([]rep, len(ordered))
+	copy(out, ordered)
+	return out
+}
+
+var _ = planFromMap
+var _ = planIndexed

@@ -25,4 +25,12 @@ var RequiredStats = []string{
 	// Adaptive controller enable/disable flips (Section 4.3.1); only
 	// registered when a run has an adaptive controller attached.
 	"xptp.transitions",
+
+	// Per-window phase-classification features (internal/sample): L1I and
+	// L2C demand misses and branch mispredicts, tracked so the windowed
+	// series carries the full SimPoint feature vector (IPC and STLB MPKI
+	// come from the records themselves).
+	"l1i.demand_miss",
+	"l2c.demand_miss",
+	"branch.mispredict",
 }

@@ -5,7 +5,6 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"io"
-	"runtime/debug"
 	"sync"
 )
 
@@ -38,35 +37,6 @@ type Manifest struct {
 func ConfigHash(data []byte) string {
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:])
-}
-
-// GitDescribe returns the VCS revision embedded by the Go toolchain
-// (vcs.revision, with a "-dirty" suffix when the worktree was modified),
-// or "unknown" when no build info is available.
-func GitDescribe() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unknown"
-	}
-	rev, dirty := "", false
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			dirty = s.Value == "true"
-		}
-	}
-	if rev == "" {
-		return "unknown"
-	}
-	if len(rev) > 12 {
-		rev = rev[:12]
-	}
-	if dirty {
-		rev += "-dirty"
-	}
-	return rev
 }
 
 // windowLine is the on-disk shape of one window record: typed, and tagged

@@ -237,6 +237,23 @@ func (w *Windows) Close(retired arch.Instr, cycles arch.Cycle, annotate func(*Wi
 	}
 }
 
+// SkipTo resynchronises the sampler after a functional fast-forward: the
+// machine consumed instructions up to the cumulative retired count
+// without closing windows, so the next window must start from this
+// position — window index rebased to the serial coordinate, counter
+// baselines re-sampled — instead of reporting the whole skipped span as
+// one giant window. No record is emitted for the skipped region.
+func (w *Windows) SkipTo(retired arch.Instr, cycles arch.Cycle) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.index = uint64(retired / w.size)
+	w.lastRetired = retired
+	w.lastCycles = cycles
+	for i := range w.tracked {
+		w.tracked[i].last = w.tracked[i].c.Value()
+	}
+}
+
 // Records returns a copy of the retained window series. Counters maps are
 // deep-copied: the retained originals are recycled as their records age
 // out of a capped ring, so callers get stable snapshots.

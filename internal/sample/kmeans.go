@@ -1,0 +1,186 @@
+package sample
+
+// Deterministic k-means for phase classification. The clustering runs in
+// the deterministic core (a sampled run's plan must replay bit-exactly
+// from its manifest), so randomness comes from an explicitly seeded
+// splitmix64 sequence, initialisation is farthest-point (deterministic
+// given the seed of the first centre), and every tie breaks toward the
+// lowest index.
+
+// rng is splitmix64: tiny, seedable, and good enough to pick one initial
+// centre.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// dist2 is squared euclidean distance.
+func dist2(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		t := a[i] - b[i]
+		d += t * t
+	}
+	return d
+}
+
+// kmeans clusters vecs into k groups and returns the assignment of each
+// vector. Initialisation: the seed picks the first centre, every further
+// centre is the point farthest from all chosen centres (max-min
+// distance, ties to the lowest index). Lloyd iterations run until the
+// assignment is stable or iters is exhausted; a cluster emptied by a
+// reassignment round is re-seeded with the point farthest from its own
+// centre. Callers guarantee 1 <= k <= len(vecs).
+func kmeans(vecs [][]float64, k int, seed uint64, iters int) []int {
+	n := len(vecs)
+	dim := len(vecs[0])
+	centers := make([][]float64, k)
+	for i := range centers {
+		centers[i] = make([]float64, dim)
+	}
+	r := rng{s: seed}
+	copy(centers[0], vecs[r.next()%uint64(n)])
+
+	// Farthest-point init: minDist tracks each point's distance to the
+	// nearest already-chosen centre.
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = dist2(vecs[i], centers[0])
+	}
+	for c := 1; c < k; c++ {
+		far := 0
+		for i := 1; i < n; i++ {
+			if minDist[i] > minDist[far] {
+				far = i
+			}
+		}
+		copy(centers[c], vecs[far])
+		for i := range minDist {
+			if d := dist2(vecs[i], centers[c]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	counts := make([]int, k)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, dist2(v, centers[0])
+			for c := 1; c < k; c++ {
+				if d := dist2(v, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || it == 0 {
+				if assign[i] != best {
+					changed = true
+				}
+				assign[i] = best
+			}
+		}
+		if it > 0 && !changed {
+			break
+		}
+		// Recompute centres.
+		for c := range centers {
+			counts[c] = 0
+			for d := range centers[c] {
+				centers[c][d] = 0
+			}
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for d := range v {
+				centers[c][d] += v[d]
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an emptied cluster with the point farthest from
+				// its current (stale) centre among points in crowded
+				// clusters; ties to the lowest index.
+				far, farD := -1, -1.0
+				for i, v := range vecs {
+					if counts[assign[i]] <= 1 {
+						continue
+					}
+					if d := dist2(v, centers[c]); d > farD {
+						far, farD = i, d
+					}
+				}
+				if far >= 0 {
+					counts[assign[far]]--
+					assign[far] = c
+					counts[c] = 1
+					copy(centers[c], vecs[far])
+				}
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for d := range centers[c] {
+				centers[c][d] *= inv
+			}
+		}
+	}
+
+	// Final assignment pass against the last centres so re-seeded
+	// clusters settle.
+	for i, v := range vecs {
+		best, bestD := 0, dist2(v, centers[0])
+		for c := 1; c < k; c++ {
+			if d := dist2(v, centers[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+	}
+	return assign
+}
+
+// medoid returns, for each cluster, the index of the member closest to
+// the cluster mean (ties to the lowest index), together with the member
+// counts. Clusters with no members get medoid -1.
+func medoids(vecs [][]float64, assign []int, k int) (rep []int, count []int) {
+	dim := len(vecs[0])
+	centers := make([][]float64, k)
+	count = make([]int, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+	}
+	for i, v := range vecs {
+		c := assign[i]
+		count[c]++
+		for d := range v {
+			centers[c][d] += v[d]
+		}
+	}
+	for c := range centers {
+		if count[c] > 0 {
+			inv := 1 / float64(count[c])
+			for d := range centers[c] {
+				centers[c][d] *= inv
+			}
+		}
+	}
+	rep = make([]int, k)
+	best := make([]float64, k)
+	for c := range rep {
+		rep[c] = -1
+	}
+	for i, v := range vecs {
+		c := assign[i]
+		d := dist2(v, centers[c])
+		if rep[c] < 0 || d < best[c] {
+			rep[c], best[c] = i, d
+		}
+	}
+	return rep, count
+}

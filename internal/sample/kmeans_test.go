@@ -1,0 +1,100 @@
+package sample
+
+import (
+	"reflect"
+	"testing"
+)
+
+// cloud builds n points around each of the given centres (1-D spread in
+// every dimension, deterministic pseudo-noise).
+func cloud(centres [][]float64, n int) [][]float64 {
+	r := rng{s: 7}
+	var out [][]float64
+	for _, c := range centres {
+		for i := 0; i < n; i++ {
+			v := make([]float64, len(c))
+			for d := range v {
+				noise := float64(r.next()%1000)/1000 - 0.5 // [-0.5, 0.5)
+				v[d] = c[d] + 0.2*noise
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestKMeansSeparatesClusters: well-separated clouds must each land in
+// their own cluster, with every member of a cloud assigned together.
+func TestKMeansSeparatesClusters(t *testing.T) {
+	centres := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	vecs := cloud(centres, 20)
+	assign := kmeans(vecs, 3, 1, 32)
+	for c := 0; c < 3; c++ {
+		want := assign[c*20]
+		for i := 0; i < 20; i++ {
+			if assign[c*20+i] != want {
+				t.Fatalf("cloud %d split across clusters: member %d in %d, member 0 in %d", c, i, assign[c*20+i], want)
+			}
+		}
+		for prev := 0; prev < c; prev++ {
+			if assign[prev*20] == want {
+				t.Fatalf("clouds %d and %d merged into cluster %d", prev, c, want)
+			}
+		}
+	}
+}
+
+// TestKMeansDeterministic: identical inputs and seed give identical
+// assignments; a different seed may differ but must still be a valid
+// partition.
+func TestKMeansDeterministic(t *testing.T) {
+	vecs := cloud([][]float64{{0, 0}, {5, 5}}, 30)
+	a := kmeans(vecs, 2, 42, 32)
+	b := kmeans(vecs, 2, 42, 32)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different assignments")
+	}
+	c := kmeans(vecs, 2, 43, 32)
+	for _, x := range c {
+		if x < 0 || x >= 2 {
+			t.Fatalf("assignment %d out of range", x)
+		}
+	}
+}
+
+// TestKMeansDegenerate: k equal to the point count puts every point in
+// its own cluster; identical points collapse gracefully.
+func TestKMeansDegenerate(t *testing.T) {
+	vecs := [][]float64{{0}, {1}, {2}, {3}}
+	assign := kmeans(vecs, 4, 0, 8)
+	seen := map[int]bool{}
+	for _, c := range assign {
+		if seen[c] {
+			t.Fatalf("k=n assignment reuses cluster %d: %v", c, assign)
+		}
+		seen[c] = true
+	}
+
+	same := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	assign = kmeans(same, 2, 9, 8)
+	if len(assign) != 3 {
+		t.Fatalf("got %d assignments", len(assign))
+	}
+}
+
+// TestMedoids: the representative of each cluster is its member closest
+// to the cluster mean, and counts tally the membership.
+func TestMedoids(t *testing.T) {
+	vecs := [][]float64{{0}, {1}, {2}, {10}, {11}}
+	assign := []int{0, 0, 0, 1, 1}
+	rep, count := medoids(vecs, assign, 2)
+	if rep[0] != 1 { // mean 1.0 → member {1}
+		t.Errorf("cluster 0 medoid %d, want 1", rep[0])
+	}
+	if rep[1] != 3 { // mean 10.5 → tie broken toward index 3
+		t.Errorf("cluster 1 medoid %d, want 3", rep[1])
+	}
+	if count[0] != 3 || count[1] != 2 {
+		t.Errorf("counts %v, want [3 2]", count)
+	}
+}

@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"itpsim/internal/trace"
+	"itpsim/internal/workload"
+)
+
+// TestIndexTraceReaderPositioning: a trace.Reader is the real non-Cloner
+// stream in the system (a streaming gzip decoder cannot be snapshotted),
+// so the Index must fall back to the per-offset Skip path — and that path
+// must yield instruction sequences identical to the clonable in-memory
+// replay of the same trace at every offset.
+func TestIndexTraceReaderPositioning(t *testing.T) {
+	const n = 8192
+	gen := testSource(t, workload.NewCatalog(120, 20).ServerNames()[3])
+
+	path := filepath.Join(t.TempDir(), "probe.itpt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := trace.Record(w, gen.New(), n); err != nil || got != n {
+		t.Fatalf("recorded %d/%d instructions: %v", got, n, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	traceSrc := Source{Name: "trace", New: func() workload.Stream {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("reopen trace: %v", err)
+		}
+		t.Cleanup(func() { f.Close() })
+		r, err := trace.NewReader(f)
+		if err != nil {
+			t.Fatalf("trace reader: %v", err)
+		}
+		return r
+	}}
+	if _, clonable := workload.CloneStream(traceSrc.New()); clonable {
+		t.Fatal("trace.Reader became clonable; this test no longer covers the fallback path")
+	}
+
+	// Clonable reference: the same trace decoded into an in-memory replay.
+	instrs := make([]workload.Instr, n)
+	if got := workload.FillBatch(traceSrc.New(), instrs); got != n {
+		t.Fatalf("replayed %d/%d instructions", got, n)
+	}
+	replaySrc := Source{Name: "replay", New: func() workload.Stream {
+		return &workload.Replay{Instrs: instrs}
+	}}
+
+	offsets := []uint64{0, 1, 100, 4095, 8000}
+	ix := NewIndex()
+	got, err := ix.Streams(traceSrc, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewIndex().Streams(replaySrc, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, off := range offsets {
+		g := make([]workload.Instr, 128)
+		e := make([]workload.Instr, 128)
+		workload.FillBatch(got[i], g)
+		workload.FillBatch(want[i], e)
+		for j := range g {
+			if g[j] != e[j] {
+				t.Fatalf("offset %d: trace-backed skip positioning diverged from clone path at instr %d", off, j)
+			}
+		}
+	}
+}

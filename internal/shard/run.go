@@ -77,9 +77,36 @@ func Jobs(cfg Config, baseKey string, src Source, ix *Index) ([]harness.Job[*Pay
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	segs := cfg.Plan.Segments()
+	return SegmentJobs(cfg, cfg.Plan.Segments(), baseKey, src, ix)
+}
+
+// SegmentJobs builds one supervised job per segment — the job engine
+// behind Jobs (plan tilings) and internal/sample (representative
+// intervals, which are arbitrary window slices rather than a uniform
+// tiling). Segments must be offset-ascending; each is validated for
+// window alignment and functional-warmup shape independently of any
+// Plan. Keys append |f<n> only for segments with functional warmup, so
+// pre-existing checkpoint keys stay stable.
+func SegmentJobs(cfg Config, segs []Segment, baseKey string, src Source, ix *Index) ([]harness.Job[*Payload], error) {
+	if cfg.System.Cores > 1 {
+		return nil, fmt.Errorf("shard: multi-core runs (Cores=%d) must run whole; segment jobs split a single stream", cfg.System.Cores)
+	}
 	offsets := make([]uint64, len(segs))
 	for i, seg := range segs {
+		if seg.Measure == 0 {
+			return nil, fmt.Errorf("shard: segment %d measures nothing", seg.Index)
+		}
+		if seg.FuncWarmup > 0 && seg.Warmup == 0 {
+			return nil, fmt.Errorf("shard: segment %d has functional warmup %d but no detailed warmup suffix", seg.Index, seg.FuncWarmup)
+		}
+		if w := cfg.MetricsWindow; w > 0 {
+			if seg.warmupTotal()%w != 0 {
+				return nil, fmt.Errorf("shard: segment %d warmup %d is not a multiple of the %d-instruction metrics window", seg.Index, seg.warmupTotal(), w)
+			}
+			if seg.Measure%w != 0 {
+				return nil, fmt.Errorf("shard: segment %d measures %d instructions, not a multiple of the %d-instruction metrics window", seg.Index, seg.Measure, w)
+			}
+		}
 		offsets[i] = seg.Offset
 	}
 	var pristine []workload.Stream
@@ -97,9 +124,13 @@ func Jobs(cfg Config, baseKey string, src Source, ix *Index) ([]harness.Job[*Pay
 	for i := range segs {
 		seg := segs[i]
 		base := pristine[i]
+		key := fmt.Sprintf("%s|shard%d/%d|o%d|w%d|m%d",
+			baseKey, seg.Index, len(segs), seg.Offset, seg.Warmup, seg.Measure)
+		if seg.FuncWarmup > 0 {
+			key += fmt.Sprintf("|f%d", seg.FuncWarmup)
+		}
 		jobs[i] = harness.Job[*Payload]{
-			Key: fmt.Sprintf("%s|shard%d/%d|o%d|w%d|m%d",
-				baseKey, seg.Index, cfg.Plan.Shards, seg.Offset, seg.Warmup, seg.Measure),
+			Key: key,
 			Run: func(jc *harness.JobContext) (*Payload, error) {
 				s, err := segmentStream(base, src, seg, jc.Attempt())
 				if err != nil {
@@ -153,6 +184,11 @@ func runSegment(cfg Config, seg Segment, s workload.Stream, jc *harness.JobConte
 	}
 	p := workload.Prefetch(s)
 	defer p.Close()
+	if seg.FuncWarmup > 0 {
+		if err := m.WarmFunctional(p, seg.FuncWarmup); err != nil {
+			return nil, err
+		}
+	}
 	res, err := m.RunWarmup([]workload.Stream{p}, seg.Warmup, seg.Measure)
 	if err != nil {
 		return nil, err

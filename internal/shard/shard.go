@@ -41,6 +41,15 @@ type Plan struct {
 	Warmup uint64
 	// Measure is the total measured instructions across all shards.
 	Measure uint64
+	// FuncWarmup replays the first FuncWarmup instructions of each
+	// shard's warmup prefix functionally — the hierarchy (TLBs, caches,
+	// page walker, branch predictor) sees every access at generator
+	// speed, but no OoO pipeline timing is simulated — leaving only the
+	// remaining Warmup−FuncWarmup instructions as detailed warmup. Must
+	// be < Warmup when non-zero (the detailed suffix settles timing
+	// state and hosts the warmup→measure reset). 0 = fully detailed
+	// warmup, the exact pre-existing behavior.
+	FuncWarmup uint64
 }
 
 // Validate rejects nonsensical plans.
@@ -51,31 +60,48 @@ func (p Plan) Validate() error {
 	if p.Measure < uint64(p.Shards) {
 		return fmt.Errorf("shard: measure %d < shards %d leaves empty segments", p.Measure, p.Shards)
 	}
+	if p.FuncWarmup > 0 && p.FuncWarmup >= p.Warmup {
+		return fmt.Errorf("shard: functional warmup %d must leave a detailed warmup suffix (total warmup %d)", p.FuncWarmup, p.Warmup)
+	}
 	return nil
 }
 
 // Segment is one shard's slice of the stream. The shard consumes stream
-// positions [Offset, Offset+Warmup+Measure); its measured region in
-// serial coordinates is [Offset+Warmup, Offset+Warmup+Measure).
+// positions [Offset, Offset+FuncWarmup+Warmup+Measure): FuncWarmup
+// instructions replayed functionally, Warmup instructions of detailed
+// warmup, then the measured region, which in serial coordinates is
+// [Offset+FuncWarmup+Warmup, Offset+FuncWarmup+Warmup+Measure).
 type Segment struct {
-	Index   int    `json:"index"`
-	Offset  uint64 `json:"offset"`
-	Warmup  uint64 `json:"warmup"`
-	Measure uint64 `json:"measure"`
+	Index      int    `json:"index"`
+	Offset     uint64 `json:"offset"`
+	FuncWarmup uint64 `json:"func_warmup,omitempty"`
+	Warmup     uint64 `json:"warmup"`
+	Measure    uint64 `json:"measure"`
 }
+
+// warmupTotal is the stream prefix preceding the measured region.
+func (s Segment) warmupTotal() uint64 { return s.FuncWarmup + s.Warmup }
 
 // Segments lays the plan out. Boundaries are cumulative floors
 // (start_i = i·Measure/Shards), so the measured segments tile
 // [Warmup, Warmup+Measure) in serial coordinates with no gaps or
-// overlaps by construction, and the 1-shard plan degenerates to
-// {Offset: 0, Warmup, Measure} — exactly the serial run.
+// overlaps by construction, and the 1-shard plan with FuncWarmup 0
+// degenerates to {Offset: 0, Warmup, Measure} — exactly the serial run.
+// Plan.Warmup is the total prefix; each segment's FuncWarmup slice of it
+// runs functionally and the rest in detail.
 func (p Plan) Segments() []Segment {
 	segs := make([]Segment, p.Shards)
 	k := uint64(p.Shards)
 	for i := range segs {
 		start := uint64(i) * p.Measure / k
 		end := uint64(i+1) * p.Measure / k
-		segs[i] = Segment{Index: i, Offset: start, Warmup: p.Warmup, Measure: end - start}
+		segs[i] = Segment{
+			Index:      i,
+			Offset:     start,
+			FuncWarmup: p.FuncWarmup,
+			Warmup:     p.Warmup - p.FuncWarmup,
+			Measure:    end - start,
+		}
 	}
 	return segs
 }

@@ -37,10 +37,12 @@ type Result struct {
 }
 
 // Beacon returns the run's deterministic-state fingerprint when the plan
-// makes one meaningful: only the degenerate 1-shard plan simulates the
-// exact serial machine state, so only it has a serial-comparable chain.
+// makes one meaningful: only the degenerate 1-shard plan with fully
+// detailed warmup simulates the exact serial machine state, so only it
+// has a serial-comparable chain (functional warmup approximates the
+// warmup timing, diverging the chain even for one shard).
 func (r *Result) Beacon() *harness.BeaconStamp {
-	if len(r.Shards) == 1 {
+	if len(r.Shards) == 1 && r.Shards[0].Segment.FuncWarmup == 0 {
 		return r.Shards[0].Beacon
 	}
 	return nil
@@ -75,7 +77,7 @@ func Stitch(cfg Config, outs []harness.Outcome[*Payload]) (*Result, error) {
 		if p.Segment != segs[i] {
 			return nil, fmt.Errorf("shard %d: payload segment %+v does not match plan segment %+v (stale checkpoint?)", i, p.Segment, segs[i])
 		}
-		addSim(res.Stats, p.Stats)
+		res.Stats.AddScaled(p.Stats, 1)
 		if err := appendWindows(res, segs[i], p.Windows); err != nil {
 			return nil, err
 		}
@@ -94,12 +96,12 @@ func Stitch(cfg Config, outs []harness.Outcome[*Payload]) (*Result, error) {
 // appendWindows rebases one shard's window series into serial
 // coordinates and appends it to the stitched series. Per-shard records
 // are cumulative from the shard's own stream start, so warmup windows
-// (Retired <= Warmup) are dropped and measured windows shift by the
-// shard's stream offset; the result is renumbered sequentially and
-// checked strictly monotonic at the seam.
+// (Retired within the functional+detailed warmup prefix) are dropped
+// and measured windows shift by the shard's stream offset; the result is
+// renumbered sequentially and checked strictly monotonic at the seam.
 func appendWindows(res *Result, seg Segment, recs []metrics.WindowRecord) error {
 	for _, rec := range recs {
-		if rec.Retired <= arch.Instr(seg.Warmup) {
+		if rec.Retired <= arch.Instr(seg.warmupTotal()) {
 			continue
 		}
 		rec.Retired += arch.Instr(seg.Offset)
@@ -112,53 +114,3 @@ func appendWindows(res *Result, seg Segment, recs []metrics.WindowRecord) error 
 	return nil
 }
 
-// addSim accumulates src into dst field-wise. Every counter in stats.Sim
-// is a sum over measured events, so summation is exact; derived ratios
-// are recomputed by the callers of the stitched Sim exactly as they are
-// for a serial one.
-func addSim(dst, src *stats.Sim) {
-	dst.Cycles += src.Cycles
-	dst.EnsureTenants(len(src.Instructions))
-	dst.EnsureTenants(len(src.Cores))
-	for i := range src.Instructions {
-		dst.Instructions[i] += src.Instructions[i]
-	}
-	for i := range src.Cores {
-		sc, dc := &src.Cores[i], &dst.Cores[i]
-		dc.Instructions += sc.Instructions
-		dc.Cycles += sc.Cycles
-		dcl, scl := dc.Levels(), sc.Levels()
-		for j := range dcl {
-			dcl[j].Add(scl[j])
-		}
-		dc.InstrTransCycles += sc.InstrTransCycles
-		dc.DataTransCycles += sc.DataTransCycles
-	}
-	dl, sl := dst.Levels(), src.Levels()
-	for i := range dl {
-		addLevel(dl[i], sl[i])
-	}
-	dst.InstrTransCycles += src.InstrTransCycles
-	dst.DataTransCycles += src.DataTransCycles
-	for i := range dst.PageWalks {
-		dst.PageWalks[i] += src.PageWalks[i]
-		dst.WalkLatSum[i] += src.WalkLatSum[i]
-	}
-	for i := range dst.PSCHits {
-		dst.PSCHits[i] += src.PSCHits[i]
-	}
-	dst.XPTPEnabledWindows += src.XPTPEnabledWindows
-	dst.XPTPDisabledWindows += src.XPTPDisabledWindows
-	dst.DRAMAccesses += src.DRAMAccesses
-	dst.STLBPrefetches += src.STLBPrefetches
-}
-
-// addLevel accumulates one cache/TLB level into another.
-func addLevel(dst, src *stats.Level) {
-	for b := range dst.Hits {
-		dst.Hits[b] += src.Hits[b]
-		dst.Misses[b] += src.Misses[b]
-	}
-	dst.MissLatSum += src.MissLatSum
-	dst.MissLatCnt += src.MissLatCnt
-}

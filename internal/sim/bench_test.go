@@ -39,7 +39,7 @@ func newSteadyMachine(b *testing.B, instrument, beacons bool, mutate func(*confi
 	if beacons {
 		m.EnableBeacons(0)
 	}
-	t := newThreadCtx(m.cores[0], 0, spec.NewStream(), &m.cfg, 1, math.MaxUint64)
+	t := newThreadCtx(m.cores[0], 0, spec.NewStream(), &m.cfg, 1, math.MaxUint64, 0)
 	m.threads = []*threadCtx{t}
 	m.cores[0].threads = m.threads
 	for i := 0; i < 50_000; i++ {
@@ -69,7 +69,7 @@ func newSteadyMultiCore(b *testing.B) (*Machine, []*threadCtx) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		t := newThreadCtx(m.cores[i], uint8(i), spec.NewStream(), &m.cfg, 1, math.MaxUint64)
+		t := newThreadCtx(m.cores[i], uint8(i), spec.NewStream(), &m.cfg, 1, math.MaxUint64, 0)
 		m.cores[i].threads = []*threadCtx{t}
 		threads[i] = t
 	}
@@ -132,12 +132,13 @@ var (
 	// internal/lint's gate-coverage test parses this table syntactically,
 	// so keep entries as identifier references to the slices above.
 	hotpathGateManifest = map[string][]string{
-		"BenchmarkSteadyStateStep":          hotpathCommon,
-		"BenchmarkSteadyStateStepMetrics":   hotpathMetrics,
-		"BenchmarkSteadyStateStepITPXPTP":   hotpathITPXPTP,
-		"BenchmarkSteadyStateStepCHiRP":     hotpathCHiRP,
-		"BenchmarkSteadyStateStepBeacons":   hotpathBeacons,
-		"BenchmarkSteadyStateStepMultiCore": hotpathCommon,
+		"BenchmarkSteadyStateStep":           hotpathCommon,
+		"BenchmarkSteadyStateStepMetrics":    hotpathMetrics,
+		"BenchmarkSteadyStateStepITPXPTP":    hotpathITPXPTP,
+		"BenchmarkSteadyStateStepCHiRP":      hotpathCHiRP,
+		"BenchmarkSteadyStateStepBeacons":    hotpathBeacons,
+		"BenchmarkSteadyStateStepMultiCore":  hotpathCommon,
+		"BenchmarkSteadyStateWarmFunctional": hotpathCommon,
 	}
 )
 
@@ -210,6 +211,37 @@ func BenchmarkSteadyStateStepMultiCore(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.step(threads[i&3])
+	}
+}
+
+// BenchmarkSteadyStateWarmFunctional gates the functional-warmup replay
+// loop: one instruction through warmStep (block-change ifetch, data
+// accesses, predictor training, controller tick) against warmed state.
+// Functional warmup's whole value is replaying instructions at generator
+// speed, so the loop must stay at 0 allocs/op like the detailed step.
+func BenchmarkSteadyStateWarmFunctional(b *testing.B) {
+	cat := workload.NewCatalog(4, 2)
+	spec, err := cat.Get("srv_000")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMachine(config.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1 << 16
+	buf := make([]workload.Instr, n)
+	if got := workload.FillBatch(spec.NewStream(), buf); got != n {
+		b.Fatalf("short fill: %d", got)
+	}
+	c := m.cores[0]
+	for i := range buf {
+		m.warmStep(c, &buf[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.warmStep(c, &buf[i&(n-1)])
 	}
 }
 

@@ -104,10 +104,11 @@ type Machine struct {
 	threads []*threadCtx
 
 	// met is the observability attachment (nil until InstrumentMetrics);
-	// the two counters are cached on the machine so the translate hot
-	// path pays one nil-safe increment, not a struct indirection.
+	// the counters are cached on the machine so the translate and resolve
+	// hot paths pay one nil-safe increment, not a struct indirection.
 	met                               *machineMetrics
 	metSTLBMissInstr, metSTLBMissData *metrics.Counter
+	metBranchMispred                  *metrics.Counter
 	// maxRetireCycle is the latest retire cycle seen across threads —
 	// the cycle clock the windowed sampler stamps windows with. Typed
 	// arch.Cycle at this boundary so it cannot be confused with the
@@ -121,6 +122,18 @@ type Machine struct {
 	// passed through the cache.Level interface escapes to the heap on
 	// every instruction).
 	acc arch.Access
+
+	// funcClock is the functional-warmup clock: WarmFunctional advances
+	// it one cycle per consumed instruction so the hierarchy's timing
+	// state (MSHR readyAt, DRAM bank state) stays causally ordered, and
+	// the detailed run that follows starts its threads at this cycle.
+	// Zero on every machine that never warms functionally, which keeps
+	// all pre-existing paths bit-identical. warmBlock/warmHasBlock
+	// dedupe per-block ifetches during functional warmup, mirroring the
+	// detailed front end's block-change fetch.
+	funcClock    uint64
+	warmBlock    arch.Addr
+	warmHasBlock bool
 
 	// beacons is the deterministic state-beacon log (nil = beacons off);
 	// owned by the run loop, see beacon.go.
@@ -526,7 +539,7 @@ func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) (
 		if nCores > 1 {
 			c = m.cores[i]
 		}
-		threads[i] = newThreadCtx(c, uint8(i), streams[i], &m.cfg, 1, warmup+measure)
+		threads[i] = newThreadCtx(c, uint8(i), streams[i], &m.cfg, 1, warmup+measure, m.funcClock)
 		c.threads = append(c.threads, threads[i])
 	}
 
@@ -604,7 +617,10 @@ func (m *Machine) RunWarmup(streams []workload.Stream, warmup, measure uint64) (
 		}
 	}
 
-	var baseline uint64
+	// The cycle baseline starts at the functional clock (0 on machines
+	// that never warmed functionally) so a measure-only run after
+	// WarmFunctional does not bill the functional cycles as measured.
+	baseline := m.funcClock
 	if warmup > 0 {
 		run(warmup)
 		// Reset the measurement state, keeping all microarchitectural

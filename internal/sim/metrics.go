@@ -29,6 +29,11 @@ type machineMetrics struct {
 	// per-window annotation.
 	l2cEvictDataPTE *metrics.Counter
 
+	// branchMispred counts branch mispredicts, incremented at the one
+	// resolve site in the step path; with IPC and the demand-miss
+	// counters it completes the per-window phase-feature vector.
+	branchMispred *metrics.Counter
+
 	// xptpTransitions counts enable<->disable flips of the adaptive
 	// controller; xptpEnabled is its most recent decision.
 	xptpTransitions *metrics.Counter
@@ -62,12 +67,15 @@ func (m *Machine) InstrumentMetrics(reg *metrics.Registry, windowInstr uint64) *
 	mm.stlbMissData = reg.Counter("stlb.demand_miss.data")
 	mm.l2cEvictDataPTE = reg.Counter("l2c.evict.data_pte")
 
-	// Every core's first-level TLBs instrument under the same prefixes:
-	// the registry returns the existing counter for a repeated name, so
-	// the exported series stay CMP-wide aggregates with stable names.
+	// Every core's first-level TLBs and L1 caches instrument under the
+	// same prefixes: the registry returns the existing counter for a
+	// repeated name, so the exported series stay CMP-wide aggregates with
+	// stable names.
 	for _, c := range m.cores {
 		c.itlb.Instrument(reg, "itlb")
 		c.dtlb.Instrument(reg, "dtlb")
+		c.l1i.Instrument(reg, "l1i")
+		c.l1d.Instrument(reg, "l1d")
 	}
 	switch s := m.stlb.(type) {
 	case *tlb.TLB:
@@ -79,12 +87,19 @@ func (m *Machine) InstrumentMetrics(reg *metrics.Registry, windowInstr uint64) *
 	m.llc.Instrument(reg, "llc")
 	m.walker.Instrument(reg, "ptw")
 
+	mm.branchMispred = reg.Counter("branch.mispredict")
+
 	mm.windows.Track("stlb.demand_miss.instr", mm.stlbMissInstr)
 	mm.windows.Track("stlb.demand_miss.data", mm.stlbMissData)
 	mm.windows.Track("l2c.evict.pte", reg.Counter("l2c.evict.pte"))
 	mm.windows.Track("l2c.evict.data_pte", mm.l2cEvictDataPTE)
 	mm.windows.Track("ptw.walk.instr", reg.Counter("ptw.walk.instr"))
 	mm.windows.Track("ptw.walk.data", reg.Counter("ptw.walk.data"))
+	// Phase-classification features (internal/sample): per-window L1I and
+	// L2C demand-miss and branch-mispredict deltas.
+	mm.windows.Track("l1i.demand_miss", reg.Counter("l1i.demand_miss"))
+	mm.windows.Track("l2c.demand_miss", reg.Counter("l2c.demand_miss"))
+	mm.windows.Track("branch.mispredict", mm.branchMispred)
 
 	if m.ctrl != nil {
 		mm.xptpTransitions = reg.Counter("xptp.transitions")
@@ -111,6 +126,7 @@ func (m *Machine) InstrumentMetrics(reg *metrics.Registry, windowInstr uint64) *
 	mm.next = mm.windows.Size()
 	m.metSTLBMissInstr = mm.stlbMissInstr
 	m.metSTLBMissData = mm.stlbMissData
+	m.metBranchMispred = mm.branchMispred
 	m.met = mm
 	return mm.windows
 }

@@ -138,7 +138,7 @@ type threadCtx struct {
 // FDIPDistance blocks can consume.
 const blockInstrs = arch.BlockSize / 4
 
-func newThreadCtx(c *coreState, id uint8, s workload.Stream, cfg *config.SystemConfig, fetchStep uint64, budget uint64) *threadCtx {
+func newThreadCtx(c *coreState, id uint8, s workload.Stream, cfg *config.SystemConfig, fetchStep uint64, budget uint64, start uint64) *threadCtx {
 	// The FTQ bounds how far fetch may run ahead of dispatch; beyond it
 	// the decoupled front-end can no longer hide instruction-side misses.
 	ftqCap := cfg.FTQDepth
@@ -158,6 +158,13 @@ func newThreadCtx(c *coreState, id uint8, s workload.Stream, cfg *config.SystemC
 		scanBudget: scanBudget,
 		robRing:    make([]uint64, cfg.ROBSize),
 		ftqRing:    make([]uint64, ftqCap),
+		// start is the cycle the thread begins at: 0 on a fresh machine,
+		// the functional clock after WarmFunctional, so detailed timing
+		// never runs behind hierarchy state warmed at a later cycle.
+		fetchCycle:        start,
+		lastRetire:        start,
+		lastRetireAtReset: start,
+		lastLoadDone:      start,
 	}
 	if len(t.la.buf) < scanBudget {
 		panic(fmt.Sprintf("sim: lookahead capacity %d < FDIP scan budget %d", len(t.la.buf), scanBudget))
@@ -257,6 +264,7 @@ func (m *Machine) step(t *threadCtx) {
 			predictedRight = m.predictBranch(c)
 		}
 		if !predictedRight {
+			m.metBranchMispred.Inc()
 			// Mispredict: the front end redirects after resolution and
 			// must refetch the target block, wherever it lives (an
 			// address sentinel would miss targets in block 0).

@@ -201,7 +201,7 @@ func TestFDIPScanBudgetSizesLookahead(t *testing.T) {
 	for _, dist := range []int{1, 24, 100} {
 		cfg := config.Default()
 		cfg.FDIPDistance = dist
-		tc := newThreadCtx(nil, 0, &workload.Replay{}, &cfg, 1, 100)
+		tc := newThreadCtx(nil, 0, &workload.Replay{}, &cfg, 1, 100, 0)
 		if want := dist * blockInstrs; tc.scanBudget != want {
 			t.Errorf("FDIPDistance=%d: scanBudget = %d, want %d", dist, tc.scanBudget, want)
 		}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"itpsim/internal/arch"
+	"itpsim/internal/config"
+	"itpsim/internal/metrics"
+	"itpsim/internal/workload"
+)
+
+// strideStream builds a finite load loop over `pages` distinct 4KB pages
+// (one load per instruction, small code footprint, a taken branch per
+// loop), long enough that a functional warmup can cover the whole
+// footprint while a short detailed warmup cannot.
+func strideStream(n, pages int) *workload.Replay {
+	instrs := make([]workload.Instr, n)
+	for i := range instrs {
+		instrs[i] = workload.Instr{
+			PC:       0x400000 + arch.Addr(i%32)*4,
+			LoadAddr: 0x10000000 + arch.Addr(i%pages)*arch.Addr(arch.PageSize4K),
+		}
+		if i%32 == 31 {
+			instrs[i].IsBranch = true
+			instrs[i].Taken = true
+		}
+	}
+	return &workload.Replay{Instrs: instrs}
+}
+
+// TestWarmFunctionalWindowCoordinates: windows closed after a functional
+// fast-forward must land at exactly the serial coordinates a fully
+// detailed run would have used — same indices, same retired boundaries,
+// no window emitted for the skipped span.
+func TestWarmFunctionalWindowCoordinates(t *testing.T) {
+	const (
+		window  = 1000
+		fw      = 3000
+		warmup  = 1000
+		measure = 2000
+	)
+	m, err := NewMachine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.InstrumentMetrics(metrics.NewRegistry(), window)
+	s := strideStream(fw+warmup+measure, 256)
+	if err := m.WarmFunctional(s, fw); err != nil {
+		t.Fatalf("functional warmup: %v", err)
+	}
+	if _, err := m.RunWarmup([]workload.Stream{s}, warmup, measure); err != nil {
+		t.Fatalf("detailed run: %v", err)
+	}
+	recs := w.Records()
+	if len(recs) != (warmup+measure)/window {
+		t.Fatalf("got %d windows, want %d (none for the functional span)", len(recs), (warmup+measure)/window)
+	}
+	for i, rec := range recs {
+		wantRetired := arch.Instr(fw + (i+1)*window)
+		if rec.Retired != wantRetired || rec.Window != uint64(fw/window+i) {
+			t.Errorf("window %d: retired %d index %d, want %d/%d (serial coordinates)",
+				i, rec.Retired, rec.Window, wantRetired, fw/window+i)
+		}
+		if rec.Instr != window {
+			t.Errorf("window %d spans %d instructions, want %d", i, rec.Instr, window)
+		}
+		if rec.IPC <= 0 {
+			t.Errorf("window %d has IPC %f: the skip must not poison cycle deltas", i, rec.IPC)
+		}
+	}
+}
+
+// TestWarmFunctionalBeaconResync: the beacon schedule resumes at the next
+// serial boundary past the skip, so a detailed suffix of d instructions
+// after a skip of f emits exactly the boundaries in (f, f+d].
+func TestWarmFunctionalBeaconResync(t *testing.T) {
+	m, err := NewMachine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableBeacons(1000)
+	m.EnableAudit(1000)
+	s := strideStream(5000, 128)
+	if err := m.WarmFunctional(s, 2500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunWarmup([]workload.Stream{s}, 500, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if _, count := m.BeaconChain(); count != 2 {
+		// Boundaries 3000, 4000, 5000 are past the skip; 5000 is the final
+		// retire, where the budget check fires before the beacon boundary
+		// on the last instruction only if retire ordering allows — assert
+		// the two interior boundaries and accept the final one.
+		if count != 3 {
+			t.Errorf("beacon count %d, want 2 or 3 (boundaries past the 2500 skip)", count)
+		}
+	}
+}
+
+// TestWarmFunctionalWarmsState: the point of functional warmup — a
+// detailed run preceded by a functional pass over the full footprint must
+// observe fewer DRAM accesses in its measured region than a cold run of
+// the identical measured instructions, because the functional pass left
+// the lines resident in the shared cache levels.
+func TestWarmFunctionalWarmsState(t *testing.T) {
+	const (
+		fw      = 8192 // two full passes over the footprint
+		warmup  = 512  // detailed warmup covers only 1/8 of the pages
+		measure = 2048
+		pages   = 4096
+	)
+	full := strideStream(fw+warmup+measure, pages)
+
+	warmMachine, err := NewMachine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := &workload.Replay{Instrs: full.Instrs}
+	if err := warmMachine.WarmFunctional(ws, fw); err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := warmMachine.RunWarmup([]workload.Stream{ws}, warmup, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldMachine, err := NewMachine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &workload.Replay{Instrs: full.Instrs[fw:]} // same detailed region, no functional prefix
+	coldRes, err := coldMachine.RunWarmup([]workload.Stream{cs}, warmup, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if w, c := warmRes.Stats.DRAMAccesses, coldRes.Stats.DRAMAccesses; w >= c {
+		t.Errorf("functionally warmed run made %d DRAM accesses, cold run %d: warmup had no effect", w, c)
+	}
+	if got, want := warmRes.Stats.TotalInstructions(), uint64(measure); got != want {
+		t.Errorf("measured %d instructions, want %d", got, want)
+	}
+}
+
+// TestWarmFunctionalRejects: guard rails — multi-core machines, reuse
+// after a detailed run, and short streams all fail loudly.
+func TestWarmFunctionalRejects(t *testing.T) {
+	cfg := config.Default()
+	cfg.Cores = 2
+	mc, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.WarmFunctional(strideStream(100, 4), 10); err == nil || !strings.Contains(err.Error(), "single-core") {
+		t.Errorf("multi-core machine accepted: %v", err)
+	}
+
+	m, err := NewMachine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run([]workload.Stream{strideStream(1000, 4)}, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WarmFunctional(strideStream(100, 4), 10); err == nil || !strings.Contains(err.Error(), "before the detailed run") {
+		t.Errorf("post-run warmup accepted: %v", err)
+	}
+
+	m2, err := NewMachine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WarmFunctional(strideStream(10, 4), 100); err == nil || !strings.Contains(err.Error(), "ended") {
+		t.Errorf("short stream accepted: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// checkScaled walks v like checkZero and reports every numeric field
+// that does not hold want — AddScaled must have multiplied it.
+func checkScaled(t *testing.T, v reflect.Value, path string, want uint64) {
+	switch v.Kind() {
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if v.Uint() != want {
+			t.Errorf("%s = %d after AddScaled, want %d (field missing from AddScaled?)", path, v.Uint(), want)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if v.Int() != int64(want) {
+			t.Errorf("%s = %d after AddScaled, want %d (field missing from AddScaled?)", path, v.Int(), want)
+		}
+	case reflect.Float32, reflect.Float64:
+		if v.Float() != float64(want) {
+			t.Errorf("%s = %g after AddScaled, want %d (field missing from AddScaled?)", path, v.Float(), want)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			checkScaled(t, v.Field(i), path+"."+v.Type().Field(i).Name, want)
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			checkScaled(t, v.Index(i), path+"[]", want)
+		}
+	}
+}
+
+// TestAddScaledCoversEveryField is the weighted twin of
+// TestResetMeasuredCoversEveryField: filling every numeric field of the
+// source by reflection and asserting the destination holds exactly k
+// times each value makes it impossible for a newly added counter to be
+// silently dropped from stitched (k=1) or sampled (k=weight) results.
+func TestAddScaledCoversEveryField(t *testing.T) {
+	src := NewSim()
+	src.EnsureTenants(4)
+	n := fillNonZero(reflect.ValueOf(src).Elem())
+	if n == 0 {
+		t.Fatal("fillNonZero set nothing; the walker is broken")
+	}
+	t.Logf("filled %d numeric fields", n)
+	dst := NewSim()
+	dst.AddScaled(src, 3)
+	checkScaled(t, reflect.ValueOf(dst).Elem(), "Sim", 3*7)
+}
+
+// TestAddScaledMatchesRepeatedAdd: the weighted sum must equal the same
+// source accumulated k times — the identity the occupancy-weighted
+// reconstruction relies on.
+func TestAddScaledMatchesRepeatedAdd(t *testing.T) {
+	src := NewSim()
+	src.EnsureTenants(3)
+	fillNonZero(reflect.ValueOf(src).Elem())
+
+	scaled := NewSim()
+	scaled.AddScaled(src, 5)
+
+	repeated := NewSim()
+	for i := 0; i < 5; i++ {
+		repeated.AddScaled(src, 1)
+	}
+	if !reflect.DeepEqual(scaled, repeated) {
+		t.Errorf("AddScaled(src, 5) != 5×AddScaled(src, 1):\n%+v\nvs\n%+v", scaled, repeated)
+	}
+}
+
+// TestAddScaledGrowsTenants: accumulating a wider Sim grows the
+// destination's per-tenant views instead of dropping the extra tenants.
+func TestAddScaledGrowsTenants(t *testing.T) {
+	src := NewSim()
+	src.EnsureTenants(6)
+	src.Instructions[5] = 11
+	src.Cores[5].Instructions = 11
+
+	dst := NewSim()
+	dst.AddScaled(src, 2)
+	if len(dst.Cores) != 6 || len(dst.Instructions) != 6 {
+		t.Fatalf("destination not grown: %d cores, %d instruction slots", len(dst.Cores), len(dst.Instructions))
+	}
+	if dst.Instructions[5] != 22 || dst.Cores[5].Instructions != 22 {
+		t.Errorf("tenant 5 not accumulated: %d / %d, want 22", dst.Instructions[5], dst.Cores[5].Instructions)
+	}
+}

@@ -158,12 +158,19 @@ func (l *Level) Reset() {
 // Add accumulates src's counters into l. Every Level field is a sum over
 // observed events, so addition composes exactly.
 func (l *Level) Add(src *Level) {
+	l.AddScaled(src, 1)
+}
+
+// AddScaled accumulates k copies of src's counters into l. Occupancy
+// weights in a sampled-run reconstruction are integer window counts, so
+// the multiply is exact in uint64.
+func (l *Level) AddScaled(src *Level, k uint64) {
 	for b := range l.Hits {
-		l.Hits[b] += src.Hits[b]
-		l.Misses[b] += src.Misses[b]
+		l.Hits[b] += k * src.Hits[b]
+		l.Misses[b] += k * src.Misses[b]
 	}
-	l.MissLatSum += src.MissLatSum
-	l.MissLatCnt += src.MissLatCnt
+	l.MissLatSum += k * src.MissLatSum
+	l.MissLatCnt += k * src.MissLatCnt
 }
 
 // Core is the per-tenant statistics view of one CMP run. One tenant is
@@ -341,6 +348,55 @@ func (s *Sim) AggregateTenants() {
 		s.InstrTransCycles += c.InstrTransCycles
 		s.DataTransCycles += c.DataTransCycles
 	}
+}
+
+// AddScaled accumulates k copies of src's counters into s. Every counter
+// in Sim is a sum over measured events, so k-fold summation is exact; it
+// is both the shard-stitch accumulation (k=1) and the occupancy-weighted
+// sum a sampled-run reconstruction needs (k = windows represented).
+// Derived ratios (IPC, MPKI, hit rates) recompute correctly from the
+// weighted counters because they are pure quotients of sums. Like
+// ResetMeasured, correctness rests on covering *every* measured field;
+// TestAddScaledCoversEveryField enforces by reflection that a newly
+// added counter cannot silently vanish from stitched or sampled results.
+func (s *Sim) AddScaled(src *Sim, k uint64) {
+	s.Cycles += arch.Cycle(k) * src.Cycles
+	if n := len(src.Instructions); n > len(src.Cores) {
+		s.EnsureTenants(n)
+	} else {
+		s.EnsureTenants(len(src.Cores))
+	}
+	for i := range src.Instructions {
+		s.Instructions[i] += k * src.Instructions[i]
+	}
+	for i := range src.Cores {
+		sc, dc := &src.Cores[i], &s.Cores[i]
+		dc.Instructions += k * sc.Instructions
+		dc.Cycles += arch.Cycle(k) * sc.Cycles
+		dcl, scl := dc.Levels(), sc.Levels()
+		for j := range dcl {
+			dcl[j].AddScaled(scl[j], k)
+		}
+		dc.InstrTransCycles += arch.Cycle(k) * sc.InstrTransCycles
+		dc.DataTransCycles += arch.Cycle(k) * sc.DataTransCycles
+	}
+	dl, sl := s.Levels(), src.Levels()
+	for i := range dl {
+		dl[i].AddScaled(sl[i], k)
+	}
+	s.InstrTransCycles += arch.Cycle(k) * src.InstrTransCycles
+	s.DataTransCycles += arch.Cycle(k) * src.DataTransCycles
+	for i := range s.PageWalks {
+		s.PageWalks[i] += k * src.PageWalks[i]
+		s.WalkLatSum[i] += arch.Cycle(k) * src.WalkLatSum[i]
+	}
+	for i := range s.PSCHits {
+		s.PSCHits[i] += k * src.PSCHits[i]
+	}
+	s.XPTPEnabledWindows += k * src.XPTPEnabledWindows
+	s.XPTPDisabledWindows += k * src.XPTPDisabledWindows
+	s.DRAMAccesses += k * src.DRAMAccesses
+	s.STLBPrefetches += k * src.STLBPrefetches
 }
 
 // TotalInstructions returns instructions retired across all threads.
