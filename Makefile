@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint staticcheck govulncheck check cover-check fuzz-smoke chaos equiv sample-equiv bench bench-figures bench-baseline bench-compare bench-check results quick-results clean
+.PHONY: all build test vet lint staticcheck govulncheck check cover-check fuzz-smoke race-matrix chaos equiv sample-equiv bench bench-figures bench-baseline bench-compare bench-check results quick-results clean
 
 all: build vet lint test
 
@@ -18,10 +18,15 @@ test:
 
 # itpvet: the repo's own analysis suite (internal/lint). Runs both drive
 # paths so neither rots: the standalone loader and the `go vet -vettool`
-# unitchecker protocol.
+# unitchecker protocol. The standalone pass prints per-analyzer wall time
+# and fails over LINT_BUDGET, so the interprocedural passes (call graph,
+# fact propagation) cannot silently bloat `make check`; CI pins the same
+# budget.
+LINT_BUDGET ?= 120s
+
 lint:
 	$(GO) build -o bin/itpvet ./cmd/itpvet
-	./bin/itpvet ./...
+	./bin/itpvet -timing -budget $(LINT_BUDGET) ./...
 	$(GO) vet -vettool=$(CURDIR)/bin/itpvet ./...
 
 # Pinned third-party analyzer versions; CI installs these exact versions.
@@ -55,6 +60,14 @@ check: lint staticcheck govulncheck
 # Per-package coverage floors (scripts/coverage_floors.tsv).
 cover-check:
 	sh scripts/check_coverage.sh
+
+# Race-detector matrix over the concurrent surface the machineown/
+# goroutinelife/lockscope analyzers guard statically: sharded runs, the
+# sampling pre-pass, the supervisor, the decode-ahead ring, and the
+# metrics registry. -count=2 reruns each test so per-run state (pools,
+# rings, checkpoints) is exercised twice under the detector.
+race-matrix:
+	$(GO) test -race -count=2 ./internal/shard ./internal/sample ./internal/harness ./internal/workload ./internal/metrics
 
 # Short fuzz pass over the parsers that read untrusted bytes — the trace
 # decoder and the checkpoint-journal recovery path — plus the stream

@@ -162,6 +162,7 @@ func main() {
 	// debug server. attachMetrics instruments one machine per harness job;
 	// with neither flag set it is free (no registry is created).
 	if *pprofAddr != "" {
+		//itp:daemon pprof/expvar debug server lives for the whole process by design
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "itpsim: pprof server:", err)

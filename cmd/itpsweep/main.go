@@ -147,6 +147,7 @@ func main() {
 	// Observability: one shared JSONL series for the whole grid (lines are
 	// tagged with the job label) and an optional pprof/expvar server.
 	if *pprofAddr != "" {
+		//itp:daemon pprof/expvar debug server lives for the whole process by design
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "itpsweep: pprof server:", err)

@@ -2,12 +2,15 @@
 //
 // It works two ways:
 //
-//	itpvet [packages]              # standalone: defaults to ./...
-//	go vet -vettool=$(which itpvet) ./...   # unitchecker mode
+//	itpvet [-timing] [-budget <dur>] [packages]   # standalone: defaults to ./...
+//	go vet -vettool=$(which itpvet) ./...         # unitchecker mode
 //
 // In standalone mode it loads the named packages (plus in-module
 // dependencies for facts) with `go list -export` and prints diagnostics,
-// exiting 1 if there are any. In vettool mode the go command drives it
+// exiting 1 if there are any. -timing prints per-analyzer wall time to
+// stderr; -budget fails the run (exit 1) when the analyzers' combined
+// wall time exceeds the duration, so interprocedural passes cannot
+// silently bloat `make check`. In vettool mode the go command drives it
 // per package through the unitchecker protocol (-V=full, -flags, then a
 // single *.cfg argument); diagnostics go to stderr and findings exit 2,
 // matching `go vet` conventions.
@@ -19,6 +22,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"itpsim/internal/lint"
 	"itpsim/internal/lint/lintcore"
@@ -56,28 +60,90 @@ func run(args []string) int {
 		}
 	}
 
-	if len(args) > 0 && strings.HasPrefix(args[0], "-") {
-		if args[0] == "-help" || args[0] == "--help" || args[0] == "-h" {
+	var timing bool
+	var budget time.Duration
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		arg := args[0]
+		args = args[1:]
+		switch {
+		case arg == "-help" || arg == "--help" || arg == "-h":
 			usage(analyzers)
 			return 0
+		case arg == "-timing":
+			timing = true
+		case arg == "-budget" && len(args) > 0:
+			arg, args = "-budget="+args[0], args[1:]
+			fallthrough
+		case strings.HasPrefix(arg, "-budget="):
+			d, err := time.ParseDuration(strings.TrimPrefix(arg, "-budget="))
+			if err != nil || d <= 0 {
+				fmt.Fprintf(os.Stderr, "itpvet: bad -budget %q (want a positive duration like 120s)\n", strings.TrimPrefix(arg, "-budget="))
+				return 1
+			}
+			budget = d
+		default:
+			fmt.Fprintf(os.Stderr, "itpvet: unknown flag %s\n", arg)
+			usage(analyzers)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "itpvet: unknown flag %s\n", args[0])
-		usage(analyzers)
-		return 1
 	}
 
+	// Loading (go list -export + parse + type-check) dominates the wall
+	// time, so the budget covers it too.
+	//itp:wallclock analyzer timing guard: measures the linter itself, not simulated time
+	loadStart := time.Now()
 	pkgs, err := lintcore.Load("", args...)
+	//itp:wallclock analyzer timing guard: measures the linter itself, not simulated time
+	total := time.Since(loadStart)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "itpvet:", err)
 		return 1
 	}
-	found, err := lintcore.Run(pkgs, analyzers)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "itpvet:", err)
-		return 1
+	if timing {
+		fmt.Fprintf(os.Stderr, "itpvet: timing %-16s %8.0fms\n", "load", float64(total.Milliseconds()))
 	}
+
+	// With a timing guard the analyzers run one at a time so each gets
+	// its own wall-time attribution. Facts are namespaced per analyzer,
+	// so split runs see exactly the facts a combined run would; the
+	// per-package directive and call-graph caches are shared across runs
+	// through the loaded packages.
+	var found []lintcore.Diagnostic
+	if timing || budget > 0 {
+		for _, a := range analyzers {
+			//itp:wallclock analyzer timing guard: measures the linter itself, not simulated time
+			t0 := time.Now()
+			diags, err := lintcore.Run(pkgs, []*lintcore.Analyzer{a})
+			//itp:wallclock analyzer timing guard: measures the linter itself, not simulated time
+			elapsed := time.Since(t0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "itpvet:", err)
+				return 1
+			}
+			total += elapsed
+			if timing {
+				fmt.Fprintf(os.Stderr, "itpvet: timing %-16s %8.0fms\n", a.Name, float64(elapsed.Milliseconds()))
+			}
+			found = append(found, diags...)
+		}
+		lintcore.SortDiagnostics(found)
+		if timing {
+			fmt.Fprintf(os.Stderr, "itpvet: timing %-16s %8.0fms\n", "total", float64(total.Milliseconds()))
+		}
+	} else {
+		found, err = lintcore.Run(pkgs, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "itpvet:", err)
+			return 1
+		}
+	}
+
 	for _, d := range found {
 		fmt.Println(d)
+	}
+	if budget > 0 && total > budget {
+		fmt.Fprintf(os.Stderr, "itpvet: analyzers took %v, over the %v budget — profile the offender (-timing) or raise the budget deliberately\n", total.Round(time.Millisecond), budget)
+		return 1
 	}
 	if len(found) > 0 {
 		return 1
@@ -102,8 +168,10 @@ func printVersion() int {
 }
 
 func usage(analyzers []*lintcore.Analyzer) {
-	fmt.Fprintln(os.Stderr, "usage: itpvet [packages]   (default ./...)")
+	fmt.Fprintln(os.Stderr, "usage: itpvet [-timing] [-budget <dur>] [packages]   (default ./...)")
 	fmt.Fprintln(os.Stderr, "   or: go vet -vettool=$(command -v itpvet) ./...")
+	fmt.Fprintln(os.Stderr, "\n  -timing        print per-analyzer wall time to stderr")
+	fmt.Fprintln(os.Stderr, "  -budget <dur>  exit 1 if combined analyzer time exceeds <dur>")
 	fmt.Fprintln(os.Stderr, "\nanalyzers:")
 	for _, a := range analyzers {
 		doc := a.Doc

@@ -1,0 +1,29 @@
+// Package atomdep is the atomicfield cross-package fixture: it accesses
+// Gauge.val atomically, which must make plain accesses in importing
+// packages diagnostics too.
+package atomdep
+
+import "sync/atomic"
+
+// Gauge has an old-style atomic field.
+type Gauge struct {
+	Val  uint64
+	Name string
+}
+
+// Bump is the atomic access that defines Val's regime.
+func Bump(g *Gauge) { atomic.AddUint64(&g.Val, 1) }
+
+// Read is atomic too: no diagnostic.
+func Read(g *Gauge) uint64 { return atomic.LoadUint64(&g.Val) }
+
+// Label touches only the non-atomic field: no diagnostic.
+func Label(g *Gauge) string { return g.Name }
+
+// reset is a reviewed pre-publication write.
+func reset(g *Gauge) {
+	//itp:nonatomic fixture: g is not yet published
+	g.Val = 0
+}
+
+var _ = reset

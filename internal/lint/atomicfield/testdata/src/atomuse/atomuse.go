@@ -1,0 +1,54 @@
+// Package atomuse is the atomicfield fixture target: local mixed
+// accesses, embedded fields, and plain accesses to a dependency's
+// atomic field.
+package atomuse
+
+import (
+	"sync/atomic"
+
+	"itpsim/internal/lint/atomicfield/testdata/src/atomdep"
+)
+
+type counter struct {
+	hits uint64
+	cold int
+}
+
+type wrapper struct {
+	counter
+}
+
+func inc(c *counter) { atomic.AddUint64(&c.hits, 1) }
+
+func bad(c *counter) uint64 {
+	return c.hits // want `field .*counter\.hits is accessed via sync/atomic elsewhere`
+}
+
+func badWrite(c *counter) {
+	c.hits = 0 // want `field .*counter\.hits is accessed via sync/atomic elsewhere`
+}
+
+// badEmbedded reaches hits through an embedding: same field, same
+// diagnostic.
+func badEmbedded(w *wrapper) uint64 {
+	return w.hits // want `field .*counter\.hits is accessed via sync/atomic elsewhere`
+}
+
+// okCold touches the plain field: no diagnostic.
+func okCold(c *counter) int { return c.cold }
+
+// okHatch is a reviewed plain access.
+func okHatch(c *counter) {
+	c.hits = 0 //itp:nonatomic fixture: c is freshly allocated
+}
+
+// badDep mixes with a dependency's atomic regime (fact flow).
+func badDep(g *atomdep.Gauge) uint64 {
+	return g.Val // want `field .*atomdep\.Gauge\.Val is accessed via sync/atomic elsewhere`
+}
+
+// okDepAtomic stays atomic: no diagnostic.
+func okDepAtomic(g *atomdep.Gauge) { atomic.StoreUint64(&g.Val, 7) }
+
+// okDepName is the dependency's plain field: no diagnostic.
+func okDepName(g *atomdep.Gauge) string { return g.Name }

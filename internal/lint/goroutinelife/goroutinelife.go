@@ -1,0 +1,209 @@
+// Package goroutinelife requires every go statement in non-test code to
+// have a provable termination path. A leaked goroutine — a decode-ahead
+// ring that nobody stops, a watchdog that outlives its job — keeps
+// machine state alive past the run that owned it and turns the next
+// run's "idle" baseline into a lie.
+//
+// Accepted evidence, checked on the spawned function's body (and, for
+// calls, interprocedurally through the call graph and cross-package
+// facts):
+//
+//   - a receive or select case on a cancellation channel: ctx.Done() or
+//     any chan struct{} (the done-channel convention),
+//   - a range over a channel (the loop ends when the producer closes),
+//   - a call to (*sync.WaitGroup).Done (the goroutine is joined),
+//   - a call to a function that itself carries such evidence (same
+//     package via the call-graph fixpoint, dependencies via the
+//     "cancellable" fact).
+//
+// A goroutine that is deliberately process-lifetime (a pprof server, a
+// crash reporter) carries //itp:daemon with a reason; the gate test
+// TestOwnershipAnnotationAudit keeps those reviewed.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/types"
+
+	"itpsim/internal/lint/lintcore"
+)
+
+// Analyzer is the goroutinelife check.
+var Analyzer = &lintcore.Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every goroutine must have a provable termination path (//itp:daemon for audited exceptions)",
+	Run:  run,
+}
+
+const cancellableFact = "cancellable"
+
+func run(pass *lintcore.Pass) error {
+	pkg := pass.Pkg
+	g := pkg.CallGraph()
+
+	external := func(fn *types.Func) bool {
+		if fn.Pkg() == nil {
+			return false
+		}
+		_, ok := pass.Fact(fn.Pkg().Path(), lintcore.FuncFullName(fn))
+		return ok
+	}
+	// has marks the package's declared functions whose call observes a
+	// termination signal in the calling goroutine.
+	has := g.Propagate(func(n *lintcore.FuncNode) bool {
+		return directEvidence(g, n)
+	}, external)
+
+	// Publish for importing packages.
+	for fn, ok := range has {
+		if ok {
+			pass.ExportFact(lintcore.FuncFullName(fn), cancellableFact)
+		}
+	}
+
+	dirs := pkg.Directives()
+	for _, node := range g.Nodes() {
+		for _, gs := range node.Gos {
+			if pkg.IsTestFile(gs.Pos()) {
+				continue
+			}
+			if dirs.Covers(gs.Pos(), lintcore.DirDaemon) {
+				continue
+			}
+			if spawnTerminates(pass, g, gs, has, external) {
+				continue
+			}
+			pass.Reportf(gs.Pos(), "goroutine has no provable termination path (ctx.Done/done-channel receive, channel range, WaitGroup.Done, or a cancellable callee); //itp:daemon with a reason if deliberately process-lifetime")
+		}
+	}
+	return nil
+}
+
+// spawnTerminates decides whether the goroutine started by gs provably
+// terminates.
+func spawnTerminates(pass *lintcore.Pass, g *lintcore.CallGraph, gs *ast.GoStmt, has map[*types.Func]bool, external func(*types.Func) bool) bool {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		node := g.LitNodes[lit]
+		if node == nil {
+			return false
+		}
+		if directEvidence(g, node) {
+			return true
+		}
+		return anyCancellableCallee(node, has, external)
+	}
+	callee := lintcore.StaticCallee(pass.Pkg.Info, gs.Call)
+	if callee == nil {
+		return false // func-value spawn: unverifiable
+	}
+	if has[callee] {
+		return true
+	}
+	return callee.Pkg() != nil && callee.Pkg() != pass.Pkg.Types && external(callee)
+}
+
+// directEvidence reports whether node's own body (including closures it
+// runs itself — not ones it spawns with go) observes a termination
+// signal.
+func directEvidence(g *lintcore.CallGraph, node *lintcore.FuncNode) bool {
+	for _, op := range node.ChanOps {
+		switch op.Kind {
+		case lintcore.ChanRecv:
+			if isCancelChan(g.Pkg.Info, op.Ch) {
+				return true
+			}
+		case lintcore.ChanRange:
+			return true
+		case lintcore.ChanSelect:
+			if selectHasCancelCase(g.Pkg.Info, op.Node.(*ast.SelectStmt)) {
+				return true
+			}
+		}
+	}
+	for _, site := range node.Calls {
+		if site.Callee != nil && lintcore.FuncFullName(site.Callee) == "(*sync.WaitGroup).Done" {
+			return true
+		}
+	}
+	// Closures the body runs in-goroutine (deferred cleanups, helpers
+	// called through a variable) carry their evidence into this body;
+	// closures it spawns with go do not — their body runs elsewhere.
+	spawned := map[*ast.FuncLit]bool{}
+	for _, gs := range node.Gos {
+		if fl, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+			spawned[fl] = true
+		}
+	}
+	for _, lit := range node.Lits {
+		if spawned[lit] {
+			continue
+		}
+		if ln := g.LitNodes[lit]; ln != nil && directEvidence(g, ln) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyCancellableCallee reports whether node statically calls a function
+// known to observe a termination signal.
+func anyCancellableCallee(node *lintcore.FuncNode, has map[*types.Func]bool, external func(*types.Func) bool) bool {
+	for _, site := range node.Calls {
+		if site.Callee == nil {
+			continue
+		}
+		if has[site.Callee] {
+			return true
+		}
+		if site.Callee.Pkg() != nil && external(site.Callee) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCancelChan reports whether ch is a cancellation channel: the result
+// of a Done() method (context.Context and look-alikes) or any channel of
+// empty structs.
+func isCancelChan(info *types.Info, ch ast.Expr) bool {
+	if call, ok := ast.Unparen(ch).(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	}
+	t := info.TypeOf(ch)
+	if t == nil {
+		return false
+	}
+	c, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := c.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// selectHasCancelCase reports whether any comm clause of sel receives
+// from a cancellation channel.
+func selectHasCancelCase(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		cc := cl.(*ast.CommClause)
+		var recv ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if un, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && un.Op.String() == "<-" {
+				recv = un.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if un, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok && un.Op.String() == "<-" {
+					recv = un.X
+				}
+			}
+		}
+		if recv != nil && isCancelChan(info, recv) {
+			return true
+		}
+	}
+	return false
+}

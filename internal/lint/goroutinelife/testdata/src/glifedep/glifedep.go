@@ -1,0 +1,22 @@
+// Package glifedep is the goroutinelife cross-package fixture: Serve
+// observes a done channel, so spawning it from an importing package is
+// provably terminating (via the "cancellable" fact).
+package glifedep
+
+// Serve drains work until stop closes.
+func Serve(stop chan struct{}, work chan int) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-work:
+		}
+	}
+}
+
+// Spin never terminates; spawning it must be a diagnostic in importers.
+func Spin() {
+	for {
+		_ = 1
+	}
+}

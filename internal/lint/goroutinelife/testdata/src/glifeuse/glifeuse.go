@@ -1,0 +1,110 @@
+// Package glifeuse is the goroutinelife fixture target.
+package glifeuse
+
+import (
+	"context"
+	"sync"
+
+	"itpsim/internal/lint/goroutinelife/testdata/src/glifedep"
+)
+
+// okDone receives on a done channel.
+func okDone(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// okCtx selects on ctx.Done().
+func okCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ch <- 1:
+			}
+		}
+	}()
+}
+
+// okWaitGroup is joined.
+func okWaitGroup(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// okRange ends when the producer closes the channel.
+func okRange(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// okLocalCallee terminates through a same-package callee (call-graph
+// fixpoint).
+func okLocalCallee(stop chan struct{}) {
+	go drain(stop)
+}
+
+// drain observes stop, transitively through drainInner.
+func drain(stop chan struct{}) { drainInner(stop) }
+
+func drainInner(stop chan struct{}) { <-stop }
+
+// okDepCallee terminates through a dependency's function (fact flow).
+func okDepCallee(stop chan struct{}, work chan int) {
+	go glifedep.Serve(stop, work)
+}
+
+// okDaemon is a reviewed process-lifetime goroutine.
+func okDaemon() {
+	//itp:daemon fixture: deliberate process-lifetime spin
+	go spin()
+}
+
+func badSpinLit() {
+	go func() { // want `goroutine has no provable termination path`
+		for {
+			work()
+		}
+	}()
+}
+
+func badSpinCall() {
+	go spin() // want `goroutine has no provable termination path`
+}
+
+func badDepSpin() {
+	go glifedep.Spin() // want `goroutine has no provable termination path`
+}
+
+// badDynamic spawns through a func value: unverifiable.
+func badDynamic(f func()) {
+	go f() // want `goroutine has no provable termination path`
+}
+
+// badSpawnInsideLit: the inner goroutine's done-receive must not count
+// as evidence for the outer (the outer spawns it; it does not run it).
+func badSpawnInsideLit(done chan struct{}) {
+	go func() { // want `goroutine has no provable termination path`
+		go func() {
+			<-done
+		}()
+		for {
+			work()
+		}
+	}()
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func work() {}

@@ -60,6 +60,7 @@ type Package struct {
 	Target bool
 
 	directives *Directives
+	callgraph  *CallGraph
 }
 
 // Directives returns the package's //itp: directive index, built lazily.

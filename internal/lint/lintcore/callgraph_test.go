@@ -1,0 +1,226 @@
+package lintcore
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+const cgfixPath = "itpsim/internal/lint/lintcore/testdata/src/cgfix"
+
+func loadCgfix(t *testing.T) *Package {
+	t.Helper()
+	pkgs, err := Load("", "./testdata/src/cgfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if p.ImportPath == cgfixPath {
+			return p
+		}
+	}
+	t.Fatal("cgfix not loaded")
+	return nil
+}
+
+func node(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	n := g.ByName[cgfixPath+"."+name]
+	if n == nil {
+		t.Fatalf("no node for %s (have %d nodes)", name, len(g.ByName))
+	}
+	return n
+}
+
+func calleeNames(n *FuncNode) []string {
+	var out []string
+	for _, site := range n.Calls {
+		if site.Callee == nil {
+			out = append(out, "<dynamic>")
+		} else {
+			out = append(out, site.Callee.Name())
+		}
+	}
+	return out
+}
+
+func TestCallGraphSummaries(t *testing.T) {
+	pkg := loadCgfix(t)
+	g := pkg.CallGraph()
+	if g != pkg.CallGraph() {
+		t.Error("CallGraph not cached")
+	}
+
+	if got := calleeNames(node(t, g, "leaf")); len(got) != 0 {
+		t.Errorf("leaf calls = %v, want none", got)
+	}
+	if got := calleeNames(node(t, g, "callsLeaf")); len(got) != 1 || got[0] != "leaf" {
+		t.Errorf("callsLeaf calls = %v", got)
+	}
+	if got := calleeNames(node(t, g, "callsDep")); len(got) != 2 || got[0] != "Exported" || got[1] != "bump" {
+		t.Errorf("callsDep calls = %v", got)
+	}
+	// Method call resolved to the concrete method object.
+	bump := node(t, g, "callsDep").Calls[1].Callee
+	if FuncFullName(bump) != "(*"+cgfixPath+".counter).bump" {
+		t.Errorf("bump full name = %q", FuncFullName(bump))
+	}
+
+	// Dynamic call keeps a site with a nil callee; the conversion
+	// produces no site at all.
+	if got := calleeNames(node(t, g, "dynamic")); len(got) != 1 || got[0] != "<dynamic>" {
+		t.Errorf("dynamic calls = %v", got)
+	}
+}
+
+func TestCallGraphChanOps(t *testing.T) {
+	g := loadCgfix(t).CallGraph()
+	chans := node(t, g, "chans")
+	var kinds []ChanOpKind
+	for _, op := range chans.ChanOps {
+		kinds = append(kinds, op.Kind)
+	}
+	want := []ChanOpKind{ChanSend, ChanRecv, ChanRange, ChanSelect}
+	if len(kinds) != len(want) {
+		t.Fatalf("chan ops = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("chan op[%d] = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	// The select's comm headers (a send and a recv) must not be recorded
+	// as separate operations, but the clause body's call must be seen.
+	if got := calleeNames(chans); len(got) != 1 || got[0] != "leaf" {
+		t.Errorf("chans calls = %v, want only clause-body leaf", got)
+	}
+	if chans.ChanOps[3].Ch != nil {
+		t.Error("select ChanOp carries a channel operand")
+	}
+}
+
+func TestCallGraphLiterals(t *testing.T) {
+	g := loadCgfix(t).CallGraph()
+	spawns := node(t, g, "spawns")
+	if len(spawns.Gos) != 1 {
+		t.Fatalf("spawns go stmts = %d", len(spawns.Gos))
+	}
+	if len(spawns.Lits) != 1 {
+		t.Fatalf("spawns lits = %d", len(spawns.Lits))
+	}
+	// The literal's operations stay out of the enclosing summary...
+	if len(spawns.ChanOps) != 0 || len(spawns.Calls) != 0 {
+		t.Errorf("literal body leaked into spawns: chanops=%v calls=%v",
+			spawns.ChanOps, calleeNames(spawns))
+	}
+	// ...and land on the literal's own node.
+	lit := g.LitNodes[spawns.Lits[0]]
+	if lit == nil {
+		t.Fatal("no node for spawns' literal")
+	}
+	if len(lit.ChanOps) != 1 || lit.ChanOps[0].Kind != ChanSend {
+		t.Errorf("lit chan ops = %v", lit.ChanOps)
+	}
+	if got := calleeNames(lit); len(got) != 1 || got[0] != "leaf" {
+		t.Errorf("lit calls = %v", got)
+	}
+}
+
+func TestPropagate(t *testing.T) {
+	pkg := loadCgfix(t)
+	g := pkg.CallGraph()
+
+	// Seed: leaf has the property. callsLeaf inherits it transitively;
+	// spawns does NOT (its only leaf call is inside a literal).
+	has := g.Propagate(func(n *FuncNode) bool {
+		return n.Fn != nil && n.Fn.Name() == "leaf"
+	}, nil)
+	byName := func(name string) bool {
+		for fn, ok := range has {
+			if ok && fn.Name() == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !byName("leaf") || !byName("callsLeaf") || !byName("chans") {
+		t.Errorf("propagation missed a caller of leaf: %v", has)
+	}
+	if byName("spawns") {
+		t.Error("literal body leaked the property into spawns")
+	}
+	if byName("dynamic") || byName("callsDep") {
+		t.Error("property reached a non-caller")
+	}
+
+	// External callback: mark the cross-package deppkg.Exported callee.
+	has = g.Propagate(func(*FuncNode) bool { return false }, func(fn *types.Func) bool {
+		return strings.HasSuffix(FuncFullName(fn), "deppkg.Exported")
+	})
+	if !byName("callsDep") {
+		t.Error("external fact did not propagate to callsDep")
+	}
+	if byName("callsLeaf") {
+		t.Error("external fact reached an unrelated function")
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	pkg := loadCgfix(t)
+	g := pkg.CallGraph()
+	spawns := node(t, g, "spawns")
+	lit := spawns.Lits[0]
+
+	got := map[string]bool{}
+	for _, fv := range FreeVars(pkg.Info, lit) {
+		got[fv.Var.Name()] = true
+		if fv.Ident == nil {
+			t.Error("FreeVar without Ident")
+		}
+	}
+	// ch (parameter), local (enclosing local), shared (package var) are
+	// free in the literal; nothing is declared inside it.
+	for _, want := range []string{"ch", "local", "shared"} {
+		if !got[want] {
+			t.Errorf("FreeVars missed %q (got %v)", want, got)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("FreeVars = %v, want exactly ch/local/shared", got)
+	}
+
+	// Over a whole function body, parameters are declared inside the
+	// FuncDecl, so only the package var is free.
+	got = map[string]bool{}
+	dyn := node(t, g, "dynamic")
+	for _, fv := range FreeVars(pkg.Info, dyn.Decl) {
+		got[fv.Var.Name()] = true
+	}
+	if len(got) != 1 || !got["shared"] {
+		t.Errorf("FreeVars(dynamic decl) = %v, want only shared", got)
+	}
+}
+
+func TestStaticCalleeEdgeCases(t *testing.T) {
+	pkg := loadCgfix(t)
+	// Walk every call in the package; builtins and conversions must never
+	// surface as call-graph sites.
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "int" || id.Name == "int32") {
+				if _, isSite := callSite(pkg.Info, call); isSite {
+					t.Errorf("conversion %s recorded as call site", id.Name)
+				}
+			}
+			return true
+		})
+	}
+	if isChanType(nil) || isChanType(types.Typ[types.Int]) {
+		t.Error("isChanType misdetected")
+	}
+}

@@ -39,6 +39,11 @@ func runPackage(pkg *Package, analyzers []*Analyzer, facts *Facts, report func(D
 	return nil
 }
 
+// SortDiagnostics orders diags by position then message — the order Run
+// emits. Drivers that run analyzers one at a time (itpvet -timing) use
+// it to restore the global order before printing.
+func SortDiagnostics(diags []Diagnostic) { sortDiagnostics(diags) }
+
 func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

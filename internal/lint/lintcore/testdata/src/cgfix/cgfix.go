@@ -1,0 +1,56 @@
+// Package cgfix is the call-graph fixture: every summary element the
+// graph records (call sites, channel operations, go statements, nested
+// literals, free variables) appears here exactly once where the test
+// expects it.
+package cgfix
+
+import "itpsim/internal/lint/lintcore/testdata/src/deppkg"
+
+var shared int
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+// leaf has an empty summary.
+func leaf() {}
+
+// callsLeaf has one static intra-package call.
+func callsLeaf() { leaf() }
+
+// callsDep calls across packages and through a method.
+func callsDep(c *counter) {
+	deppkg.Exported()
+	c.bump()
+}
+
+// dynamic calls through a func value (nil callee) and performs a
+// conversion (not a call at all).
+func dynamic(f func()) int {
+	f()
+	return int(int32(shared))
+}
+
+// chans exercises every channel-operation kind.
+func chans(ch chan int, done chan struct{}) {
+	ch <- 1
+	<-ch
+	for range ch {
+	}
+	select {
+	case ch <- 2:
+		leaf()
+	case <-done:
+	}
+}
+
+// spawns starts a goroutine whose literal body gets its own node: the
+// literal's send and call must not appear in spawns' summary.
+func spawns(ch chan int) {
+	local := 7
+	go func() {
+		ch <- local
+		shared++
+		leaf()
+	}()
+}

@@ -1,0 +1,13 @@
+package lockscope
+
+import (
+	"testing"
+
+	"itpsim/internal/lint/lintcore"
+	"itpsim/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, []*lintcore.Analyzer{Analyzer},
+		"./testdata/src/lockdep", "./testdata/src/lockuse")
+}

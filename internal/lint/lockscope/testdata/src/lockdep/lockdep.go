@@ -1,0 +1,9 @@
+// Package lockdep is the lockscope cross-package fixture.
+package lockdep
+
+// Blocky may block (channel receive): calling it under a lock in an
+// importing package must be a diagnostic (via the "blocks" fact).
+func Blocky(ch chan int) int { return <-ch }
+
+// Quick never blocks.
+func Quick(x int) int { return x + 1 }

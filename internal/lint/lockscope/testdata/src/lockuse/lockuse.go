@@ -1,0 +1,123 @@
+// Package lockuse is the lockscope fixture target.
+package lockuse
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"itpsim/internal/lint/lockscope/testdata/src/lockdep"
+)
+
+type store struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	n   int
+	enc *json.Encoder
+}
+
+func badSend(s *store, ch chan int) {
+	s.mu.Lock()
+	ch <- s.n // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func badSleep(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `blocking call to time\.Sleep while s\.mu is held`
+}
+
+func badEncode(s *store, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enc.Encode(v) // want `blocking call to \(\*encoding/json\.Encoder\)\.Encode while s\.mu is held`
+}
+
+func badRLock(s *store, ch chan int) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return <-ch // want `channel receive while s\.rw is held`
+}
+
+func badSelect(s *store, ch chan int, done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select while s\.mu is held`
+	case <-ch:
+	case <-done:
+	}
+}
+
+// badLocalCallee blocks through a same-package callee (fixpoint).
+func badLocalCallee(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	drain(ch) // want `call to .*lockuse\.drain, which may block, while s\.mu is held`
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// badDepCallee blocks through a dependency (fact flow).
+func badDepCallee(s *store, ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return lockdep.Blocky(ch) // want `call to .*lockdep\.Blocky, which may block, while s\.mu is held`
+}
+
+// badDynamic calls through a func value.
+func badDynamic(s *store, f func()) {
+	s.mu.Lock()
+	f() // want `call through a func value .* while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// okAfterUnlock: the send happens outside the section.
+func okAfterUnlock(s *store, ch chan int) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	ch <- s.n
+}
+
+// okQuickCallee: a non-blocking callee is fine under the lock.
+func okQuickCallee(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = lockdep.Quick(s.n)
+}
+
+// okHatch is a reviewed serialised writer: the lock exists to order
+// writes to the shared stream.
+func okHatch(s *store, w io.Writer, buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//itp:lock-io fixture: s.mu serialises writers of the shared stream
+	s.enc.Encode(buf)
+}
+
+// okClosure: a literal's own lock does not leak into the enclosing body
+// and vice versa.
+func okClosure(s *store, ch chan int) func() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return func() {
+		ch <- s.n
+	}
+}
+
+// okDistinctLocks: sections are per receiver.
+func okDistinctLocks(s, t *store, ch chan int) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+	ch <- s.n + t.n
+}

@@ -1,0 +1,313 @@
+// Package machineown proves shard/core isolation as a checked
+// invariant: values whose types are reachable from the simulator's
+// owned roots — sim.Machine, shard.Payload, the workload.Stream
+// instruction source — must never escape the goroutine that owns them.
+// Differential equivalence (bit-identical 1-shard vs K-shard runs)
+// holds only because each machine is touched by exactly one goroutine;
+// this analyzer turns that convention into a diagnostic.
+//
+// The owned type set is computed per package by walking the type graph
+// from every root visible through the package's import closure: struct
+// fields, pointer/slice/array/map/channel element types, generic type
+// arguments, and — for module-declared interfaces — method signature
+// types (which is how workload.Stream taints workload.Instr). Function
+// signatures are deliberately not descended: a registry of constructors
+// returning machines does not itself carry a machine.
+//
+// A package that cannot see any root through its imports is naturally
+// exempt — shared infrastructure like internal/metrics stays out of
+// scope without a hand-maintained list.
+//
+// Flagged escapes (non-test files): a machine-owned value captured or
+// passed into a go statement, sent on a channel, or stored in a
+// package-level variable. Receives are not flagged — taking ownership
+// is the legal half of a transfer. A reviewed handoff (the decode-ahead
+// ring's recycling protocol, say) carries //itp:owner naming the
+// protocol; TestOwnershipAnnotationAudit keeps those justified and
+// manifested.
+package machineown
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"itpsim/internal/lint/lintcore"
+)
+
+// Roots names the owned root types as "pkgpath.TypeName". It is a
+// variable so analyzer tests can root fixture types instead.
+var Roots = []string{
+	"itpsim/internal/sim.Machine",
+	"itpsim/internal/shard.Payload",
+	"itpsim/internal/workload.Stream",
+}
+
+// modulePrefix scopes interface method-signature descent to interfaces
+// the module declares.
+const modulePrefix = "itpsim/"
+
+// Analyzer is the machineown check.
+var Analyzer = &lintcore.Analyzer{
+	Name: "machineown",
+	Doc:  "machine-owned state must not escape into goroutines, channel sends, or package-level variables",
+	Run:  run,
+}
+
+func run(pass *lintcore.Pass) error {
+	pkg := pass.Pkg
+	owned := ownedSet(pkg)
+	if len(owned) == 0 {
+		return nil // no root visible from here: exempt by construction
+	}
+	c := &carrier{owned: owned, memo: map[*types.TypeName]bool{}}
+
+	dirs := pkg.Directives()
+	for _, file := range pkg.Files {
+		if pkg.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, ok := pkg.Info.Defs[name].(*types.Var)
+					if !ok || !c.carries(obj.Type()) {
+						continue
+					}
+					if dirs.Covers(name.Pos(), lintcore.DirOwner) {
+						continue
+					}
+					pass.Reportf(name.Pos(), "package-level variable %s holds machine-owned state (%s): it is reachable from every goroutine (//itp:owner naming the handoff protocol if this is a reviewed transfer point)",
+						name.Name, typeLabel(obj.Type()))
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkGo(pass, c, dirs, n)
+			case *ast.SendStmt:
+				checkSend(pass, c, dirs, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGo flags machine-owned values entering a spawned goroutine:
+// captured by its literal, passed as arguments, or carried by its
+// method receiver.
+func checkGo(pass *lintcore.Pass, c *carrier, dirs *lintcore.Directives, gs *ast.GoStmt) {
+	if dirs.Covers(gs.Pos(), lintcore.DirOwner) {
+		return
+	}
+	info := pass.Pkg.Info
+	flag := func(what string, t types.Type) {
+		pass.Reportf(gs.Pos(), "go statement moves machine-owned state to another goroutine: %s (%s) (//itp:owner naming the handoff protocol if this is a reviewed transfer)", what, typeLabel(t))
+	}
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		seen := map[*types.Var]bool{}
+		for _, fv := range lintcore.FreeVars(info, lit) {
+			if seen[fv.Var] || !c.carries(fv.Var.Type()) {
+				continue
+			}
+			seen[fv.Var] = true
+			flag("captures "+fv.Var.Name(), fv.Var.Type())
+		}
+	} else if sel, ok := ast.Unparen(gs.Call.Fun).(*ast.SelectorExpr); ok {
+		if t := info.TypeOf(sel.X); t != nil && c.carries(t) {
+			flag("receiver "+types.ExprString(sel.X), t)
+		}
+	}
+	for _, arg := range gs.Call.Args {
+		if t := info.TypeOf(arg); t != nil && c.carries(t) {
+			flag("argument "+types.ExprString(arg), t)
+		}
+	}
+}
+
+// checkSend flags machine-owned values sent on a channel.
+func checkSend(pass *lintcore.Pass, c *carrier, dirs *lintcore.Directives, send *ast.SendStmt) {
+	t := pass.Pkg.Info.TypeOf(send.Value)
+	if t == nil || !c.carries(t) {
+		return
+	}
+	if dirs.Covers(send.Pos(), lintcore.DirOwner) {
+		return
+	}
+	pass.Reportf(send.Pos(), "channel send publishes machine-owned state (%s) to another goroutine (//itp:owner naming the handoff protocol if this is a reviewed transfer)", typeLabel(t))
+}
+
+// ownedSet walks the type graph from every root visible to pkg and
+// returns the owned named types.
+func ownedSet(pkg *lintcore.Package) map[*types.TypeName]bool {
+	owned := map[*types.TypeName]bool{}
+	var visit func(t types.Type)
+	visit = func(t types.Type) {
+		switch t := t.(type) {
+		case *types.Named:
+			obj := t.Obj()
+			if owned[obj] {
+				return
+			}
+			// Ownership is a property of module types. Stdlib and
+			// universe types (os.File, error, atomic.Uint64) reached
+			// through a machine's fields are shared-safe infrastructure,
+			// not per-core state — tainting them would flag every
+			// os.Stderr capture in sight of a root.
+			if obj.Pkg() == nil || !strings.HasPrefix(obj.Pkg().Path(), modulePrefix) {
+				return
+			}
+			owned[obj] = true
+			if args := t.TypeArgs(); args != nil {
+				for i := 0; i < args.Len(); i++ {
+					visit(args.At(i))
+				}
+			}
+			if iface, ok := t.Underlying().(*types.Interface); ok {
+				// Method signatures of module interfaces taint the types
+				// they produce/consume (Stream.Next taints Instr).
+				if obj.Pkg() != nil && strings.HasPrefix(obj.Pkg().Path(), modulePrefix) {
+					for i := 0; i < iface.NumMethods(); i++ {
+						sig := iface.Method(i).Type().(*types.Signature)
+						visitTuple(visit, sig.Params())
+						visitTuple(visit, sig.Results())
+					}
+				}
+				return
+			}
+			visit(t.Underlying())
+		case *types.Pointer:
+			visit(t.Elem())
+		case *types.Slice:
+			visit(t.Elem())
+		case *types.Array:
+			visit(t.Elem())
+		case *types.Chan:
+			visit(t.Elem())
+		case *types.Map:
+			visit(t.Key())
+			visit(t.Elem())
+		case *types.Struct:
+			for i := 0; i < t.NumFields(); i++ {
+				visit(t.Field(i).Type())
+			}
+			// Signatures, basic types, unnamed interfaces: stop.
+		}
+	}
+	for _, root := range Roots {
+		if named := lookupRoot(pkg, root); named != nil {
+			visit(named)
+		}
+	}
+	return owned
+}
+
+func visitTuple(visit func(types.Type), tup *types.Tuple) {
+	for i := 0; i < tup.Len(); i++ {
+		visit(tup.At(i).Type())
+	}
+}
+
+// lookupRoot resolves "pkgpath.TypeName" through pkg and its transitive
+// imports; nil when the root is not visible.
+func lookupRoot(pkg *lintcore.Package, root string) types.Type {
+	dot := strings.LastIndex(root, ".")
+	if dot < 0 {
+		return nil
+	}
+	path, name := root[:dot], root[dot+1:]
+	tp := findImport(pkg.Types, path, map[*types.Package]bool{})
+	if tp == nil {
+		return nil
+	}
+	tn, ok := tp.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	return tn.Type()
+}
+
+func findImport(from *types.Package, path string, seen map[*types.Package]bool) *types.Package {
+	if from == nil || seen[from] {
+		return nil
+	}
+	seen[from] = true
+	if from.Path() == path {
+		return from
+	}
+	for _, imp := range from.Imports() {
+		if found := findImport(imp, path, seen); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// carrier memoizes "does this type carry owned state": it mentions an
+// owned named type through fields, elements, or type arguments — but
+// not through function signatures.
+type carrier struct {
+	owned map[*types.TypeName]bool
+	memo  map[*types.TypeName]bool
+}
+
+func (c *carrier) carries(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if c.owned[obj] {
+			return true
+		}
+		if done, ok := c.memo[obj]; ok {
+			return done
+		}
+		c.memo[obj] = false // cycle guard: least fixpoint
+		res := false
+		if args := t.TypeArgs(); args != nil {
+			for i := 0; i < args.Len() && !res; i++ {
+				res = c.carries(args.At(i))
+			}
+		}
+		// Only module types are opened up; a stdlib container can hold
+		// module state only through its type arguments (checked above)
+		// or an any — which no static check can chase.
+		if !res && obj.Pkg() != nil && strings.HasPrefix(obj.Pkg().Path(), modulePrefix) {
+			res = c.carries(t.Underlying())
+		}
+		c.memo[obj] = res
+		return res
+	case *types.Pointer:
+		return c.carries(t.Elem())
+	case *types.Slice:
+		return c.carries(t.Elem())
+	case *types.Array:
+		return c.carries(t.Elem())
+	case *types.Chan:
+		return c.carries(t.Elem())
+	case *types.Map:
+		return c.carries(t.Key()) || c.carries(t.Elem())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if c.carries(t.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// typeLabel renders t with package paths shortened to their last
+// element.
+func typeLabel(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,35 @@
+package machineown
+
+import (
+	"testing"
+
+	"itpsim/internal/lint/lintcore"
+	"itpsim/internal/lint/linttest"
+)
+
+const fixtureRootPkg = "itpsim/internal/lint/machineown/testdata/src/machroot"
+
+func TestAnalyzer(t *testing.T) {
+	old := Roots
+	Roots = []string{fixtureRootPkg + ".Core", fixtureRootPkg + ".Feed"}
+	defer func() { Roots = old }()
+
+	linttest.Run(t, []*lintcore.Analyzer{Analyzer},
+		"./testdata/src/machroot", "./testdata/src/machuse")
+}
+
+func TestDefaultRoots(t *testing.T) {
+	want := map[string]bool{
+		"itpsim/internal/sim.Machine":     true,
+		"itpsim/internal/shard.Payload":   true,
+		"itpsim/internal/workload.Stream": true,
+	}
+	if len(Roots) != len(want) {
+		t.Fatalf("Roots = %v", Roots)
+	}
+	for _, r := range Roots {
+		if !want[r] {
+			t.Errorf("unexpected root %q", r)
+		}
+	}
+}

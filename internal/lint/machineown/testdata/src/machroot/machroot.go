@@ -1,0 +1,32 @@
+// Package machroot declares the machineown fixture roots: Core plays
+// sim.Machine (a struct root) and Feed plays workload.Stream (an
+// interface root whose method signatures taint Item).
+package machroot
+
+// Core is the fixture machine.
+type Core struct {
+	ID    int
+	State []uint64
+}
+
+// Item is tainted through Feed's method signature, not named as a root.
+type Item struct {
+	PC uint64
+}
+
+// Feed is the fixture stream interface.
+type Feed interface {
+	Next(*Item) bool
+}
+
+// Plain is unrelated to any root.
+type Plain struct {
+	Label string
+}
+
+// Spin runs the core until done closes (a method spawn target for the
+// fixture's receiver-escape cases).
+func (c *Core) Spin(done chan struct{}) {
+	c.State[0]++
+	<-done
+}

@@ -1,0 +1,91 @@
+// Package machuse is the machineown fixture target.
+package machuse
+
+import "itpsim/internal/lint/machineown/testdata/src/machroot"
+
+// badGlobal pins owned state in a package-level variable.
+var badGlobal *machroot.Core // want `package-level variable badGlobal holds machine-owned state`
+
+// okGlobalPlain holds an unrelated type.
+var okGlobalPlain machroot.Plain
+
+// okRegistry holds owned types only behind function signatures: a
+// constructor registry does not itself carry a machine.
+var okRegistry = map[string]func() *machroot.Core{}
+
+// okOwnerGlobal is a reviewed transfer point.
+//
+//itp:owner fixture: single-writer handoff cell, swapped before spawn
+var okOwnerGlobal *machroot.Core
+
+func badCapture(c *machroot.Core, done chan struct{}) {
+	go func() { // want `go statement moves machine-owned state to another goroutine: captures c`
+		c.State[0]++
+		<-done
+	}()
+}
+
+func badArg(c *machroot.Core, done chan struct{}) {
+	go runCore(c, done) // want `go statement moves machine-owned state to another goroutine: argument c`
+}
+
+func badReceiver(c *machroot.Core, done chan struct{}) {
+	go c.Spin(done) // want `go statement moves machine-owned state to another goroutine: receiver c`
+}
+
+func (c *Core2) spinWrapped(done chan struct{}) {
+	go c.inner.Spin(done) // want `go statement moves machine-owned state to another goroutine: receiver c\.inner`
+}
+
+// Core2 carries a root transitively through a field.
+type Core2 struct {
+	inner *machroot.Core
+}
+
+func badSend(c *machroot.Core, ch chan *machroot.Core) {
+	ch <- c // want `channel send publishes machine-owned state`
+}
+
+// badSendWrapper: a struct containing a tainted Item slice carries
+// owned state (the interface-signature taint).
+type batch struct {
+	items []machroot.Item
+}
+
+func badSendWrapper(b batch, ch chan batch) {
+	ch <- b // want `channel send publishes machine-owned state`
+}
+
+// okRecv: taking ownership is the legal half of a transfer.
+func okRecv(ch chan *machroot.Core) *machroot.Core {
+	return <-ch
+}
+
+// okSendPlain sends an unrelated type.
+func okSendPlain(p machroot.Plain, ch chan machroot.Plain) {
+	ch <- p
+}
+
+// okOwnerSend is a reviewed handoff.
+func okOwnerSend(c *machroot.Core, ch chan *machroot.Core) {
+	ch <- c //itp:owner fixture: ring recycle — receiver is the only consumer
+}
+
+// okOwnerGo is a reviewed spawn.
+func okOwnerGo(c *machroot.Core, done chan struct{}) {
+	//itp:owner fixture: c is abandoned by the spawner after this line
+	go runCore(c, done)
+}
+
+// okCapturePlain captures nothing owned.
+func okCapturePlain(p machroot.Plain, done chan struct{}) {
+	go func() {
+		_ = p.Label
+		<-done
+	}()
+}
+
+func runCore(c *machroot.Core, done chan struct{}) {
+	c.State[0]++
+	<-done
+}

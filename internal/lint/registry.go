@@ -5,16 +5,22 @@
 package lint
 
 import (
+	"itpsim/internal/lint/atomicfield"
 	"itpsim/internal/lint/cycleunits"
 	"itpsim/internal/lint/errpropagation"
+	"itpsim/internal/lint/goroutinelife"
 	"itpsim/internal/lint/hotpathalloc"
 	"itpsim/internal/lint/lintcore"
+	"itpsim/internal/lint/lockscope"
+	"itpsim/internal/lint/machineown"
 	"itpsim/internal/lint/simdeterminism"
 	"itpsim/internal/lint/statregistry"
 )
 
 // All returns the full itpvet suite, in the order diagnostics are
-// attributed.
+// attributed: the five intra-procedural checks from the original suite,
+// then the four interprocedural concurrency checks built on the
+// lintcore call graph.
 func All() []*lintcore.Analyzer {
 	return []*lintcore.Analyzer{
 		simdeterminism.Analyzer,
@@ -22,5 +28,9 @@ func All() []*lintcore.Analyzer {
 		cycleunits.Analyzer,
 		errpropagation.Analyzer,
 		statregistry.Analyzer,
+		machineown.Analyzer,
+		atomicfield.Analyzer,
+		goroutinelife.Analyzer,
+		lockscope.Analyzer,
 	}
 }

@@ -198,9 +198,15 @@ func (w *Windows) slotLocked() *WindowRecord {
 // record before it is stored and streamed. The sink, when set, must not
 // retain the record past the call: with a retention cap its Counters map
 // is recycled into a future window once the record ages out of the ring.
+//
+// The sink runs after w.mu is released: sinks do I/O (the JSONL
+// exporter writes a file) and may legitimately re-enter the Windows
+// (Recent, Closed) for context, so streaming under the lock would hold
+// every concurrent stall-diagnostic reader hostage — or deadlock.
+// Windows are closed by the single run-loop goroutine, so the sink
+// still sees records in order, before the next Close can recycle them.
 func (w *Windows) Close(retired arch.Instr, cycles arch.Cycle, annotate func(*WindowRecord)) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	rec := w.slotLocked()
 	scratch := rec.Counters
 	*rec = WindowRecord{
@@ -227,13 +233,27 @@ func (w *Windows) Close(retired arch.Instr, cycles arch.Cycle, annotate func(*Wi
 		}
 	}
 	if annotate != nil {
+		// The annotation must land in the stored record before any
+		// reader can observe the closed window, so it runs under the
+		// lock; it is an in-memory decoration, not I/O.
+		//itp:lock-io annotate decorates the ring slot before publication; sinks, which do I/O, run below after Unlock
 		annotate(rec)
 	}
 	w.index++
 	w.lastRetired = retired
 	w.lastCycles = cycles
-	if w.sink != nil {
-		w.sink(rec)
+	sink := w.sink
+	var out WindowRecord
+	if sink != nil {
+		// Shallow copy: the sink contract already forbids retaining the
+		// record (its Counters map is ring-recycled), and the slot
+		// itself cannot be rewritten before the sink returns — only a
+		// later Close recycles slots, and Close is run-loop-only.
+		out = *rec
+	}
+	w.mu.Unlock()
+	if sink != nil {
+		sink(&out)
 	}
 }
 

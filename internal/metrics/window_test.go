@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestWindowsDefaultSize(t *testing.T) {
@@ -53,6 +54,49 @@ func TestWindowsDeltasAndIPC(t *testing.T) {
 	}
 	if w.Closed() != 2 {
 		t.Fatalf("Closed = %d, want 2", w.Closed())
+	}
+}
+
+// TestWindowsSinkRunsOutsideLock is the regression test for streaming
+// under w.mu: a sink that re-enters the Windows (Recent/Closed for
+// context, as a stall diagnostic would) used to deadlock because Close
+// called it with the lock held. It must also still observe the
+// annotated record, and observe it before the next Close.
+func TestWindowsSinkRunsOutsideLock(t *testing.T) {
+	w := NewWindows(100)
+	var got []WindowRecord
+	var closedAt []uint64
+	w.SetSink(func(rec *WindowRecord) {
+		// Re-entering the Windows from the sink deadlocked before the
+		// fix; Closed() already counts the window being streamed.
+		closedAt = append(closedAt, w.Closed())
+		if n := len(w.Recent(1)); n != 1 {
+			t.Fatalf("Recent(1) from sink = %d records", n)
+		}
+		got = append(got, *rec)
+	})
+	annotate := func(rec *WindowRecord) { rec.STLBMPKIInstr = 7 }
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Close(100, 200, annotate)
+		w.Close(200, 400, annotate)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked with a re-entrant sink")
+	}
+	if len(got) != 2 || got[0].Window != 0 || got[1].Window != 1 {
+		t.Fatalf("sink saw %+v, want windows 0 and 1 in order", got)
+	}
+	for i, rec := range got {
+		if rec.STLBMPKIInstr != 7 {
+			t.Errorf("sink record %d missed the annotation: %+v", i, rec)
+		}
+	}
+	if closedAt[0] != 1 || closedAt[1] != 2 {
+		t.Errorf("Closed() from sink = %v, want [1 2] (record published before streaming)", closedAt)
 	}
 }
 

@@ -2,4 +2,15 @@
 
 package itpsim
 
+import "testing"
+
 const raceEnabled = false
+
+// TestRaceTagPlumbing pins the !race arm of the build-tag pair: this
+// file is only compiled without -race, so if the test runs at all the
+// constant must say so. See race_enabled_test.go for the other arm.
+func TestRaceTagPlumbing(t *testing.T) {
+	if raceEnabled {
+		t.Fatal("built without -race but raceEnabled = true; build-tag plumbing is broken")
+	}
+}
